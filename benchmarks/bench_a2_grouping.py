@@ -1,0 +1,16 @@
+"""A2: ablation of whole-match grouped assignment (LOOM's contribution).
+
+Shape reproduced: disabling grouping removes all group assignments and
+gives up the traversal-probability advantage.
+"""
+
+from conftest import rows_by
+
+
+def test_a2_grouping(run_and_show):
+    (table,) = run_and_show("A2")
+    grouped = rows_by(table, group_matches=True)[0]
+    ungrouped = rows_by(table, group_matches=False)[0]
+    assert grouped["groups"] > 0
+    assert ungrouped["groups"] == 0
+    assert grouped["p_remote"] < ungrouped["p_remote"]

@@ -1,0 +1,19 @@
+"""A3: TPSTry++ DAG vs the original path-only TPSTry.
+
+Shape reproduced: the path trie cannot represent the cyclic square motif
+(its largest motif stays below 4 edges), and restricting LOOM to
+path-shaped motifs raises the traversal probability on a square-heavy
+workload -- the justification for the DAG generalisation (section 4.2).
+"""
+
+from conftest import rows_by
+
+
+def test_a3_dag_vs_path_trie(run_and_show):
+    summary, quality = run_and_show("A3")
+    shapes = {row["structure"]: row for row in summary.rows}
+    assert shapes["tpstry++"]["largest_motif_edges"] == 4   # the square
+    assert shapes["path-trie"]["largest_motif_edges"] < 4   # cycle invisible
+    q = {row["structure"]: row for row in quality.rows}
+    assert q["tpstry++"]["p_remote"] <= q["path-trie"]["p_remote"]
+    assert q["tpstry++"]["groups"] >= q["path-trie"]["groups"]

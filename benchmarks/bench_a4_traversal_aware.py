@@ -1,0 +1,15 @@
+"""A4: the section-5 future-work extension (traversal-aware LDG).
+
+Shape reproduced: weighting LDG's neighbour counts by TPSTry++ edge
+traversal probabilities never hurts the workload metric on a
+workload-correlated graph, standalone or inside LOOM.
+"""
+
+
+def test_a4_traversal_aware(run_and_show):
+    (table,) = run_and_show("A4")
+    p = {row["method"]: row["p_remote"] for row in table.rows}
+    assert set(p) == {"ldg", "ta-ldg", "loom", "loom_ta"}
+    assert p["ta-ldg"] <= p["ldg"] + 0.03
+    assert p["loom_ta"] <= p["loom"] + 0.03
+    assert p["loom"] < p["ldg"]

@@ -1,0 +1,19 @@
+"""E1: edge-cut fraction of workload-agnostic partitioners.
+
+Shape reproduced: LDG cuts far fewer edges than hash on structured graphs
+(the section-4.1 'up to 90%' claim, strongest on locality-rich graphs and
+orderings); the offline multilevel partitioner is the quality bound.
+"""
+
+
+def test_e1_edge_cut(run_and_show):
+    (table,) = run_and_show("E1")
+    for row in table.rows:
+        assert row["ldg"] < row["hash"], f"LDG must beat hash on {row['graph']}"
+        assert row["offline"] <= row["hash"]
+    # Structured graphs see large reductions; ER (no structure) the least.
+    reductions = {
+        (row["graph"], row["k"]): row["ldg_vs_hash_reduction"]
+        for row in table.rows
+    }
+    assert max(reductions.values()) > 0.4

@@ -1,0 +1,32 @@
+"""E2 (headline): inter-partition traversal probability for a workload Q.
+
+Shape reproduced: LOOM's P(remote traversal) is below the workload-agnostic
+streaming baselines on workload-correlated graphs, at comparable balance;
+hash is the worst; offline is the structural bound but remains
+workload-blind.
+"""
+
+from conftest import rows_by
+
+
+def test_e2_traversal_probability(run_and_show):
+    (table,) = run_and_show("E2")
+    graphs = {row["graph"] for row in table.rows}
+    for graph in graphs:
+        p = {
+            row["method"]: row["p_remote"]
+            for row in rows_by(table, graph=graph)
+        }
+        assert p["loom"] < p["hash"], f"LOOM must beat hash on {graph}"
+        assert p["ldg"] < p["hash"]
+    # On the motif-planted case (maximal workload correlation) LOOM must
+    # also beat plain LDG -- the paper's core contribution.
+    motif_rows = {
+        row["method"]: row["p_remote"] for row in rows_by(table, graph="motifs")
+    }
+    assert motif_rows["loom"] < motif_rows["ldg"]
+    # Balance must stay near the configured slack for every method.  The
+    # hard capacity is ceil(slack * n / k), so on small graphs rho can
+    # exceed the slack by up to k/n of rounding.
+    for row in table.rows:
+        assert row["rho"] <= 1.2 + 0.1

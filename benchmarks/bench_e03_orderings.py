@@ -1,0 +1,25 @@
+"""E3: stream-ordering sensitivity (the paper's promised evaluation axis).
+
+Shape reproduced: hash placement is ordering-free; the greedy family's
+quality moves with ordering; LOOM remains at or below LDG everywhere.
+"""
+
+from conftest import rows_by
+
+
+def test_e3_orderings(run_and_show):
+    (table,) = run_and_show("E3")
+    # Hash is ordering-independent: its cut varies only by sampling noise.
+    hash_cuts = [row["cut"] for row in rows_by(table, method="hash")]
+    assert max(hash_cuts) - min(hash_cuts) < 0.08
+    # Greedy heuristics are ordering-sensitive (the section 3.1 point).
+    ldg_cuts = [row["cut"] for row in rows_by(table, method="ldg")]
+    assert max(ldg_cuts) - min(ldg_cuts) > 0.01
+    # LOOM never loses to hash, under any ordering.
+    orderings = {row["ordering"] for row in table.rows}
+    for ordering in orderings:
+        p = {
+            row["method"]: row["p_remote"]
+            for row in rows_by(table, ordering=ordering)
+        }
+        assert p["loom"] <= p["hash"]

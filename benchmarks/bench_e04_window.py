@@ -1,0 +1,20 @@
+"""E4: window-size sweep.
+
+Shape reproduced: window=1 means no motif can assemble (LOOM degrades to
+LDG: zero groups); larger windows assemble more motif matches and push the
+traversal probability down.
+"""
+
+
+def test_e4_window(run_and_show):
+    table, reference = run_and_show("E4")
+    by_window = {row["window"]: row for row in table.rows}
+    windows = sorted(by_window)
+    assert by_window[windows[0]]["groups"] == 0          # window=1: no motifs
+    assert by_window[windows[-1]]["groups"] > 0          # big window: grouping
+    assert (
+        by_window[windows[-1]]["p_remote"] < by_window[windows[0]]["p_remote"]
+    )
+    # Group activity grows with the window.
+    group_counts = [by_window[w]["groups"] for w in windows]
+    assert group_counts == sorted(group_counts)

@@ -1,0 +1,17 @@
+"""E5: motif frequency threshold sweep.
+
+Shape reproduced: T above 1 leaves no frequent motifs (LOOM == LDG, zero
+groups); lowering T adds motifs and grouping activity; the frequent-motif
+count is monotone non-increasing in T (p-values are fixed).
+"""
+
+
+def test_e5_threshold(run_and_show):
+    (table,) = run_and_show("E5")
+    rows = sorted(table.rows, key=lambda r: r["threshold"])
+    assert rows[-1]["threshold"] > 1.0
+    assert rows[-1]["frequent_motifs"] == 0
+    assert rows[-1]["groups"] == 0
+    counts = [row["frequent_motifs"] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert rows[0]["groups"] > 0

@@ -1,0 +1,17 @@
+"""E6: partition balance.
+
+Shape reproduced: every method, LOOM's whole-group placement included,
+stays within the capacity slack; the balanced heuristic is near-perfect.
+"""
+
+from conftest import rows_by
+
+
+def test_e6_balance(run_and_show):
+    (table,) = run_and_show("E6")
+    for row in table.rows:
+        # The hard constraint is the capacity (ceil(slack * n / k)); rho
+        # may exceed the slack itself only by the ceil rounding.
+        assert row["max_size"] <= row["capacity"], f"{row['method']} broke capacity"
+    for row in rows_by(table, method="balanced"):
+        assert row["max_size"] - row["min_size"] <= 1

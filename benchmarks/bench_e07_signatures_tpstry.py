@@ -1,0 +1,22 @@
+"""E7: signature soundness, collision rate, TPSTry++ construction cost.
+
+Shape reproduced: Song et al's claim that "signature collision is highly
+unlikely" -- zero collisions at paper-scale alphabets -- plus perfect
+matcher precision and sub-second Algorithm-1 builds.
+"""
+
+
+def test_e7_signatures(run_and_show):
+    collisions, build, precision = run_and_show("E7")
+    crow = collisions.rows[0]
+    assert crow["pairs"] > 1000
+    assert crow["collisions"] == 0
+    # Signature equality must at least cover all isomorphic pairs
+    # (soundness direction of the scheme).
+    assert crow["signature_equal_pairs"] >= crow["isomorphic_pairs"]
+    for row in build.rows:
+        assert row["build_seconds"] < 2.0
+        assert row["nodes"] > row["queries"]
+    prow = precision.rows[0]
+    assert prow["matches_checked"] > 0
+    assert prow["precision"] == 1.0

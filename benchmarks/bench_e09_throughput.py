@@ -1,0 +1,16 @@
+"""E9: partitioner throughput.
+
+Shape reproduced: one-pass streaming methods (hash fastest) outpace the
+offline multilevel pipeline; LOOM pays its window/matcher overhead but
+remains a streaming method.  Absolute vertices/second are Python-bound --
+only the ordering between methods is claimed.
+"""
+
+
+def test_e9_throughput(run_and_show):
+    (table,) = run_and_show("E9")
+    for row in table.rows:
+        assert row["hash"] > row["offline"], "streaming must beat offline"
+        assert row["hash"] >= row["ldg"] * 0.5  # same order of magnitude
+        for method in ("hash", "ldg", "fennel", "loom", "offline"):
+            assert row[method] > 0

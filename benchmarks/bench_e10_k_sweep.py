@@ -1,0 +1,15 @@
+"""E10: traversal probability vs number of partitions.
+
+Shape reproduced: remote probability grows with k for every method (more
+boundaries to cross) and LOOM stays below hash at every k.
+"""
+
+
+def test_e10_k_sweep(run_and_show):
+    (table,) = run_and_show("E10")
+    rows = sorted(table.rows, key=lambda r: r["k"])
+    for row in rows:
+        assert row["loom"] < row["hash"]
+    # Hash worsens as k grows (expected cut fraction 1 - 1/k).
+    hash_p = [row["hash"] for row in rows]
+    assert hash_p[-1] > hash_p[0]

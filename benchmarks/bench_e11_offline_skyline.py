@@ -1,0 +1,17 @@
+"""E11: offline workload-aware skyline.
+
+Shape reproduced: the quality spectrum the paper's section-3.1 narrative
+implies -- hash (floor) > structure-only streaming (LDG) > LOOM > the
+offline bounds, with the workload-aware offline (traversal-weighted
+multilevel) the best of all on the workload metric.
+"""
+
+
+def test_e11_offline_skyline(run_and_show):
+    (table,) = run_and_show("E11")
+    p = {row["method"]: row["p_remote"] for row in table.rows}
+    assert p["loom"] < p["ldg"] < p["hash"]
+    assert p["offline_wa"] <= p["offline"] + 1e-9
+    assert p["offline_wa"] < p["ldg"]
+    # LOOM (streaming) should land between LDG and the offline bounds.
+    assert p["loom"] < p["ldg"]

@@ -1,0 +1,30 @@
+"""E12: hotspot replication complementarity (paper section 3.2).
+
+Shape reproduced: replication monotonically improves every initial
+partitioning, but a workload-aware initial partitioning (LOOM) starts so
+much lower that it beats workload-agnostic partitionings even after those
+spend their whole replica budget -- the paper's complementarity argument.
+"""
+
+from conftest import rows_by
+
+
+def test_e12_replication(run_and_show):
+    (table,) = run_and_show("E12")
+    for method in ("hash", "ldg", "loom"):
+        rows = sorted(rows_by(table, method=method), key=lambda r: r["budget"])
+        probabilities = [row["p_remote"] for row in rows]
+        # More replicas never hurt (weakly monotone improvement).
+        for before, after in zip(probabilities, probabilities[1:]):
+            assert after <= before + 0.02
+    zero_budget_loom = rows_by(table, method="loom", budget=0)[0]["p_remote"]
+    max_budget = max(row["budget"] for row in table.rows)
+    full_budget_hash = rows_by(table, method="hash", budget=max_budget)[0][
+        "p_remote"
+    ]
+    full_budget_ldg = rows_by(table, method="ldg", budget=max_budget)[0][
+        "p_remote"
+    ]
+    # LOOM with no replicas at all beats the others at full budget.
+    assert zero_budget_loom < full_budget_hash
+    assert zero_budget_loom < full_budget_ldg

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs one experiment from :mod:`repro.bench.experiments`
+(in ``fast`` mode so pytest-benchmark's timing loop stays tractable),
+prints the resulting tables (so the tee'd bench log contains the
+reproduced rows), and asserts the *shape* the paper predicts -- who wins,
+in which direction the trend goes.  Absolute numbers are environment
+noise; shapes are the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_experiment
+
+
+@pytest.fixture
+def run_and_show(benchmark, capsys):
+    """Run an experiment under the benchmark timer and print its tables."""
+
+    def runner(experiment_id: str, *, seed: int = 0):
+        tables = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, seed=seed, fast=True),
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            for table in tables:
+                print(table.render())
+        return tables
+
+    return runner
+
+
+def rows_by(table, **filters):
+    """Rows of a table matching all column=value filters."""
+    out = []
+    for row in table.rows:
+        if all(row[k] == v for k, v in filters.items()):
+            out.append(row)
+    return out

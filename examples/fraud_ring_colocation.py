@@ -1,0 +1,85 @@
+"""Scenario: keeping fraud rings inside one partition.
+
+Fraud detection is the paper's first motivating application.  Rings --
+accounts sharing devices and cards -- are exactly the kind of sub-graph a
+fraud workload traverses over and over; if a ring straddles partitions,
+every sweep pays network round-trips.
+
+This example measures *ring integrity*: the fraction of planted rings
+whose account/device/card vertices all landed in a single partition, and
+connects it to the workload metric.
+
+Run with::
+
+    python examples/fraud_ring_colocation.py
+"""
+
+import random
+
+from repro import DistributedGraphStore, run_workload, stream_from_graph
+from repro.bench.harness import partition_with
+from repro.bench.tables import Table
+from repro.datasets import fraud_network, fraud_workload
+
+N_ACCOUNTS = 160
+N_RINGS = 10
+RING_SIZE = 4
+
+
+def ring_vertices(ring: int) -> list[str]:
+    """Vertices of planted ring ``ring``: its accounts + shared device/card.
+
+    The generator wires ring ``i`` over accounts ``a{i*size}..`` with
+    shared device ``d{i}`` and card ``k{i}`` (devices/cards are numbered
+    ring-first).
+    """
+    accounts = [f"a{ring * RING_SIZE + j}" for j in range(RING_SIZE)]
+    return accounts + [f"d{ring}", f"k{ring}"]
+
+
+def main() -> None:
+    graph = fraud_network(
+        N_ACCOUNTS, n_rings=N_RINGS, ring_size=RING_SIZE, rng=random.Random(11)
+    )
+    workload = fraud_workload(skew=1.0)
+    print(f"fraud graph : {graph}")
+    print(f"planted     : {N_RINGS} rings of {RING_SIZE} accounts")
+
+    events = stream_from_graph(graph, ordering="random", rng=random.Random(12))
+    table = Table(
+        "ring integrity vs workload cost (k=8, random stream)",
+        ["method", "rings_intact", "p_remote", "local_rate"],
+    )
+
+    for method in ("hash", "ldg", "loom"):
+        result = partition_with(
+            method, graph, events, k=8, workload=workload,
+            window_size=256, motif_threshold=0.2,
+        )
+        intact = 0
+        for ring in range(N_RINGS):
+            partitions = {
+                result.assignment.partition_of(v) for v in ring_vertices(ring)
+            }
+            intact += len(partitions) == 1
+        store = DistributedGraphStore(graph, result.assignment)
+        stats = run_workload(store, workload, executions=150, rng=random.Random(13))
+        table.add_row(
+            method=method,
+            rings_intact=f"{intact}/{N_RINGS}",
+            p_remote=stats.remote_probability,
+            local_rate=stats.fully_local_rate,
+        )
+
+    print()
+    print(table.render())
+    print(
+        "Rings are precisely the frequent motifs of the fraud workload\n"
+        "(shared-device and shared-card wedges), so LOOM's motif grouping\n"
+        "doubles as ring co-location -- the fraud analyst's sweeps stop\n"
+        "paying cross-partition latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

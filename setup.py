@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which build an editable wheel) fail.  This shim
+lets ``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

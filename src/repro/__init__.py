@@ -1,0 +1,105 @@
+"""LOOM: workload-aware streaming graph partitioning -- full reproduction.
+
+Reproduction of Firth & Missier, "Workload-Aware Streaming Graph
+Partitioning", GraphQ Workshop @ EDBT/ICDT 2016.
+
+Quick tour (see ``examples/quickstart.py`` for the runnable version)::
+
+    import random
+    from repro import (
+        LoomConfig, LoomPartitioner, figure1_graph, figure1_workload,
+        stream_from_graph, DistributedGraphStore, run_workload,
+    )
+
+    graph = figure1_graph()
+    workload = figure1_workload()
+    config = LoomConfig(k=2, capacity=5, window_size=8)
+    loom = LoomPartitioner(workload, config)
+    events = stream_from_graph(graph, ordering="random", rng=random.Random(0))
+    assignment = loom.partition_stream(events)
+    stats = run_workload(
+        DistributedGraphStore(graph, assignment), workload,
+        executions=100, rng=random.Random(1),
+    )
+    print(stats.remote_probability)   # the paper's quality metric
+
+Package map (one sub-package per subsystem; see DESIGN.md):
+
+======================  ====================================================
+``repro.graph``         labelled graphs, isomorphism, canonical forms
+``repro.signatures``    Song-et-al number-theoretic signatures
+``repro.stream``        orderings, event sources, sliding windows
+``repro.workload``      pattern queries and workload generators
+``repro.tpstry``        TPSTry++ DAG (and the path-only ablation)
+``repro.partitioning``  hash/S&K/Fennel/offline baselines + metrics
+``repro.core``          the LOOM partitioner itself
+``repro.cluster``       simulated distributed store + instrumented executor
+``repro.replication``   workload-aware hotspot replication (section 3.2)
+``repro.datasets``      social / fraud / citation / protein property graphs
+``repro.bench``         experiment harness (E1-E12, A1-A4)
+======================  ====================================================
+"""
+
+from repro.graph import LabelledGraph
+from repro.signatures import SignatureScheme
+from repro.stream import SlidingWindow
+from repro.stream.sources import growth_stream, stream_from_graph
+from repro.workload import (
+    PatternQuery,
+    Workload,
+    figure1_graph,
+    figure1_workload,
+)
+from repro.tpstry import PathTPSTry, StreamingTPSTry, TPSTryPP
+from repro.partitioning import (
+    FennelPartitioner,
+    HashPartitioner,
+    LinearDeterministicGreedy,
+    PartitionAssignment,
+    edge_cut_fraction,
+    multilevel_partition,
+    normalised_max_load,
+    partition_graph,
+    partition_stream,
+)
+from repro.core import LoomConfig, LoomPartitioner, TraversalAwareLDG
+from repro.cluster import (
+    DistributedGraphStore,
+    DistributedQueryExecutor,
+    LatencyModel,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabelledGraph",
+    "SignatureScheme",
+    "SlidingWindow",
+    "growth_stream",
+    "stream_from_graph",
+    "PatternQuery",
+    "Workload",
+    "figure1_graph",
+    "figure1_workload",
+    "PathTPSTry",
+    "StreamingTPSTry",
+    "TPSTryPP",
+    "FennelPartitioner",
+    "HashPartitioner",
+    "LinearDeterministicGreedy",
+    "PartitionAssignment",
+    "edge_cut_fraction",
+    "multilevel_partition",
+    "normalised_max_load",
+    "partition_graph",
+    "partition_stream",
+    "LoomConfig",
+    "LoomPartitioner",
+    "TraversalAwareLDG",
+    "DistributedGraphStore",
+    "DistributedQueryExecutor",
+    "LatencyModel",
+    "run_workload",
+    "__version__",
+]

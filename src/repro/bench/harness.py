@@ -1,0 +1,166 @@
+"""Shared experiment machinery: method registry and evaluation.
+
+``partition_with`` runs any named method over a (graph, stream) pair under
+one uniform contract, so every experiment compares like with like:
+identical streams, identical capacities, identical evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.cluster import DistributedGraphStore, LatencyModel, run_workload
+from repro.core import LoomConfig, LoomPartitioner
+from repro.graph.labelled import LabelledGraph
+from repro.partitioning import (
+    BalancedPartitioner,
+    ChunkingPartitioner,
+    DeterministicGreedy,
+    ExponentialDeterministicGreedy,
+    FennelPartitioner,
+    HashPartitioner,
+    LinearDeterministicGreedy,
+    RandomPartitioner,
+    edge_cut_fraction,
+    multilevel_partition,
+    normalised_max_load,
+    partition_stream,
+)
+from repro.partitioning.base import PartitionAssignment, default_capacity
+from repro.stream.events import StreamEvent
+from repro.workload.workloads import Workload
+
+#: Streaming vertex-at-a-time baselines available to every experiment.
+STREAMING_METHODS = {
+    "hash": HashPartitioner,
+    "random": RandomPartitioner,
+    "balanced": BalancedPartitioner,
+    "chunking": ChunkingPartitioner,
+    "greedy": DeterministicGreedy,
+    "ldg": LinearDeterministicGreedy,
+    "edg": ExponentialDeterministicGreedy,
+    "fennel": FennelPartitioner,
+}
+
+#: The default method line-up for quality tables.
+DEFAULT_LINEUP = ("hash", "ldg", "fennel", "offline", "loom")
+
+
+@dataclass
+class MethodResult:
+    """One (method, configuration) cell of an experiment table."""
+
+    method: str
+    assignment: PartitionAssignment
+    seconds: float
+
+    def cut_fraction(self, graph: LabelledGraph) -> float:
+        return edge_cut_fraction(graph, self.assignment)
+
+    def max_load(self) -> float:
+        return normalised_max_load(self.assignment)
+
+
+def partition_with(
+    method: str,
+    graph: LabelledGraph,
+    events: list[StreamEvent],
+    *,
+    k: int,
+    capacity: int | None = None,
+    slack: float = 1.2,
+    workload: Workload | None = None,
+    window_size: int = 128,
+    motif_threshold: float = 0.2,
+    seed: int = 0,
+    **loom_overrides,
+) -> MethodResult:
+    """Partition ``graph`` (already serialised as ``events``) with ``method``.
+
+    ``offline`` sees the whole graph (its defining advantage); every other
+    method consumes the stream.  ``loom``/``loom_ta`` need ``workload``.
+    """
+    cap = capacity or default_capacity(graph.num_vertices, k, slack)
+    start = time.perf_counter()
+    if method == "offline":
+        assignment = multilevel_partition(
+            graph, k, slack=slack, rng=random.Random(seed)
+        )
+    elif method == "offline_wa":
+        if workload is None:
+            raise ValueError("method 'offline_wa' needs a workload")
+        from repro.partitioning.workload_offline import (
+            workload_aware_multilevel,
+        )
+
+        assignment = workload_aware_multilevel(
+            graph, workload, k, slack=slack, rng=random.Random(seed)
+        )
+    elif method in ("loom", "loom_ta"):
+        if workload is None:
+            raise ValueError(f"method {method!r} needs a workload")
+        config = LoomConfig(
+            k=k,
+            capacity=cap,
+            window_size=window_size,
+            motif_threshold=motif_threshold,
+            traversal_aware_singles=(method == "loom_ta"),
+            **loom_overrides,
+        )
+        assignment = LoomPartitioner(workload, config).partition_stream(events)
+    elif method in STREAMING_METHODS:
+        factory = STREAMING_METHODS[method]
+        if method == "fennel":
+            partitioner = factory(
+                expected_vertices=graph.num_vertices,
+                expected_edges=graph.num_edges,
+                balance_slack=slack,
+            )
+        elif method == "random":
+            partitioner = factory(random.Random(seed))
+        else:
+            partitioner = factory()
+        assignment = partition_stream(partitioner, events, k=k, capacity=cap)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    seconds = time.perf_counter() - start
+    return MethodResult(method, assignment, seconds)
+
+
+@dataclass
+class AssignmentEvaluation:
+    """Structural + workload quality of one finished assignment."""
+
+    cut_fraction: float
+    max_load: float
+    remote_probability: float
+    remote_per_query: float
+    fully_local_rate: float
+    mean_cost: float
+
+
+def evaluate_assignment(
+    graph: LabelledGraph,
+    result: MethodResult,
+    workload: Workload,
+    *,
+    executions: int = 120,
+    seed: int = 99,
+    latency: LatencyModel | None = None,
+) -> AssignmentEvaluation:
+    """Run the sampled query stream against the partitioned store."""
+    store = DistributedGraphStore(graph, result.assignment)
+    stats = run_workload(
+        store, workload, executions=executions, rng=random.Random(seed)
+    )
+    model = latency or LatencyModel()
+    return AssignmentEvaluation(
+        cut_fraction=result.cut_fraction(graph),
+        max_load=result.max_load(),
+        remote_probability=stats.remote_probability,
+        remote_per_query=stats.remote_per_query,
+        fully_local_rate=stats.fully_local_rate,
+        mean_cost=stats.mean_cost(model),
+    )

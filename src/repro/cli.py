@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+::
+
+    loom-repro list                      # available experiments
+    loom-repro experiment E2 A1          # run experiments, print tables
+    loom-repro experiment all --out results/
+    loom-repro demo                      # figure-1 walkthrough
+    loom-repro partition --graph g.txt --method loom -k 4 ...
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import partition_with
+from repro.cluster import DistributedGraphStore, run_workload
+from repro.graph.io import load_edge_list
+from repro.partitioning import edge_cut_fraction, normalised_max_load
+from repro.stream.sources import stream_from_graph
+from repro.workload import figure1_graph, figure1_workload
+from repro.workload.workloads import workload_from_graph
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.id:4s} {experiment.title}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = list(EXPERIMENTS) if "all" in args.ids else [i.upper() for i in args.ids]
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        tables = run_experiment(experiment_id, seed=args.seed, fast=args.fast)
+        for index, table in enumerate(tables):
+            print(table.render())
+            if out_dir is not None:
+                stem = f"{experiment_id.lower()}_{index}"
+                table.save_csv(out_dir / f"{stem}.csv")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    """Walk through the paper's figure-1 example end to end.
+
+    The workload is skewed toward q1 (the a-b-a-b square), so the square
+    sub-graph over vertices {1, 2, 5, 6} is the frequent motif LOOM should
+    keep whole, whatever order the stream delivers the vertices in.
+    """
+    graph = figure1_graph()
+    workload = figure1_workload(q1_frequency=4.0)
+    print(f"Figure-1 graph: {graph}")
+    print("Workload:", workload, "\n")
+    for method in ("hash", "ldg", "loom"):
+        events = stream_from_graph(graph, ordering="random", rng=random.Random(0))
+        result = partition_with(
+            method, graph, events, k=2, capacity=5, workload=workload,
+            window_size=8, motif_threshold=0.6,
+        )
+        store = DistributedGraphStore(graph, result.assignment)
+        stats = run_workload(store, workload, executions=150, rng=random.Random(1))
+        blocks = result.assignment.blocks()
+        square = {result.assignment.partition_of(v) for v in (1, 2, 5, 6)}
+        print(
+            f"{method:5s} partitions={[sorted(b) for b in blocks]} "
+            f"cut={edge_cut_fraction(graph, result.assignment):.2f} "
+            f"P(remote)={stats.remote_probability:.3f} "
+            f"q1-square-colocated={'yes' if len(square) == 1 else 'no'}"
+        )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    rng = random.Random(args.seed)
+    if args.method in ("loom", "loom_ta"):
+        workload = workload_from_graph(
+            graph, count=args.queries, rng=random.Random(args.seed + 1)
+        )
+    else:
+        workload = None
+    events = stream_from_graph(graph, ordering=args.ordering, rng=rng)
+    result = partition_with(
+        args.method, graph, events, k=args.k, workload=workload,
+        seed=args.seed, window_size=args.window,
+    )
+    print(f"method={args.method} k={args.k} ordering={args.ordering}")
+    print(f"cut_fraction={edge_cut_fraction(graph, result.assignment):.4f}")
+    print(f"max_load={normalised_max_load(result.assignment):.4f}")
+    print(f"sizes={result.assignment.sizes()}")
+    if workload is not None:
+        store = DistributedGraphStore(graph, result.assignment)
+        stats = run_workload(
+            store, workload, executions=args.queries * 20,
+            rng=random.Random(args.seed + 2),
+        )
+        print(f"p_remote={stats.remote_probability:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loom-repro",
+        description="LOOM workload-aware streaming graph partitioning "
+        "(EDBT/GraphQ 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+
+    exp = sub.add_parser("experiment", help="run experiments and print tables")
+    exp.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--fast", action="store_true", help="smaller grids")
+    exp.add_argument("--out", help="directory for CSV output")
+    exp.set_defaults(fn=_cmd_experiment)
+
+    sub.add_parser("demo", help="figure-1 walkthrough").set_defaults(fn=_cmd_demo)
+
+    part = sub.add_parser("partition", help="partition an edge-list file")
+    part.add_argument("--graph", required=True, help="labelled edge-list file")
+    part.add_argument("--method", default="loom",
+                      help="hash|ldg|fennel|offline|loom|loom_ta|...")
+    part.add_argument("-k", type=int, default=4)
+    part.add_argument("--ordering", default="random")
+    part.add_argument("--window", type=int, default=128)
+    part.add_argument("--queries", type=int, default=4,
+                      help="queries sampled from the graph for loom")
+    part.add_argument("--seed", type=int, default=0)
+    part.set_defaults(fn=_cmd_partition)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

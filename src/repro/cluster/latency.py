@@ -1,0 +1,43 @@
+"""Communication cost model.
+
+The simulation does not time a network; it *counts* traversals and converts
+them to modelled cost.  The defaults encode the usual datacentre ratio --
+an in-memory hop is orders of magnitude cheaper than a cross-machine one --
+and experiments vary ``remote_cost`` to show LOOM's advantage growing with
+the local/remote gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Linear cost model over traversal counts.
+
+    ``local_cost``  -- cost of following an edge within a partition.
+    ``remote_cost`` -- cost of following an edge across partitions
+                       (network round-trip + serialisation).
+    """
+
+    local_cost: float = 1.0
+    remote_cost: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.local_cost < 0 or self.remote_cost < 0:
+            raise ConfigurationError("costs must be non-negative")
+        if self.remote_cost < self.local_cost:
+            raise ConfigurationError(
+                "remote_cost below local_cost inverts the simulation's "
+                "premise (remote hops are the expensive ones)"
+            )
+
+    def cost(self, local_traversals: int, remote_traversals: int) -> float:
+        """Total modelled cost of an execution."""
+        return (
+            self.local_cost * local_traversals
+            + self.remote_cost * remote_traversals
+        )

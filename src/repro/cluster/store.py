@@ -1,0 +1,118 @@
+"""Simulated distributed graph store.
+
+Models what a partitioned GDBMS cluster serves: each of ``k`` shards holds
+the vertices assigned to it, their labels, and their adjacency lists
+(including edges toward remote vertices, as real systems store them).  A
+label index per shard supports the executor's initial candidate lookup,
+mirroring the vertex-label indexes of property-graph databases.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PartitioningError
+from repro.graph.labelled import Label, LabelledGraph, Vertex
+from repro.partitioning.base import PartitionAssignment
+
+
+class DistributedGraphStore:
+    """A data graph sharded by a finished partition assignment.
+
+    Besides the primary placement, the store supports read-only *replicas*
+    ("temporary secondary partitions" in the paper's section-3.2
+    description of Yang et al): a vertex replicated into partition ``p``
+    can be read from ``p`` without a remote hop.  The replication layer
+    (:mod:`repro.replication`) decides what to replicate; the store only
+    tracks copies and answers locality questions accordingly.
+    """
+
+    def __init__(
+        self, graph: LabelledGraph, assignment: PartitionAssignment
+    ) -> None:
+        for vertex in graph.vertices():
+            if assignment.partition_of(vertex) is None:
+                raise PartitioningError(
+                    f"vertex {vertex!r} has no partition; the store needs a "
+                    "complete assignment"
+                )
+        self.graph = graph
+        self.assignment = assignment
+        self._label_index: dict[Label, list[Vertex]] = {}
+        self._replicas: dict[Vertex, set[int]] = {}
+        for vertex in graph.vertices():
+            self._label_index.setdefault(graph.label(vertex), []).append(vertex)
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.assignment.k
+
+    def partition_of(self, vertex: Vertex) -> int:
+        partition = self.assignment.partition_of(vertex)
+        if partition is None:  # pragma: no cover - checked at construction
+            raise PartitioningError(f"vertex {vertex!r} unassigned")
+        return partition
+
+    def label(self, vertex: Vertex) -> Label:
+        return self.graph.label(vertex)
+
+    def neighbours(self, vertex: Vertex) -> frozenset[Vertex]:
+        return self.graph.neighbours(vertex)
+
+    def vertices_with_label(self, label: Label) -> list[Vertex]:
+        """Label-index lookup (does not count as an edge traversal)."""
+        return list(self._label_index.get(label, ()))
+
+    def is_remote(self, u: Vertex, v: Vertex) -> bool:
+        """True when the hop ``u -> v`` leaves ``u``'s partition.
+
+        The hop stays local when ``v``'s primary copy lives with ``u`` or
+        a replica of ``v`` has been placed in ``u``'s partition.
+        """
+        home = self.partition_of(u)
+        if home == self.partition_of(v):
+            return False
+        return home not in self._replicas.get(v, ())
+
+    # ------------------------------------------------------------------
+    # Replicas
+    # ------------------------------------------------------------------
+    def add_replica(self, vertex: Vertex, partition: int) -> bool:
+        """Place a read-only copy of ``vertex`` in ``partition``.
+
+        Returns True when a new copy was created (False when the vertex
+        already lives or is replicated there).
+        """
+        if not 0 <= partition < self.k:
+            raise PartitioningError(
+                f"partition {partition} out of range [0, {self.k})"
+            )
+        if self.partition_of(vertex) == partition:
+            return False
+        copies = self._replicas.setdefault(vertex, set())
+        if partition in copies:
+            return False
+        copies.add(partition)
+        return True
+
+    def replicas_of(self, vertex: Vertex) -> frozenset[int]:
+        return frozenset(self._replicas.get(vertex, ()))
+
+    def total_replicas(self) -> int:
+        """Total number of replica placements across all vertices."""
+        return sum(len(copies) for copies in self._replicas.values())
+
+    def replication_factor(self) -> float:
+        """Average copies per vertex (1.0 = no replication)."""
+        n = self.graph.num_vertices
+        if n == 0:
+            return 1.0
+        return 1.0 + self.total_replicas() / n
+
+    def shard_sizes(self) -> list[int]:
+        return self.assignment.sizes()
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedGraphStore(k={self.k}, |V|={self.graph.num_vertices}, "
+            f"|E|={self.graph.num_edges})"
+        )

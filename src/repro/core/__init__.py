@@ -1,0 +1,30 @@
+"""LOOM: the paper's primary contribution.
+
+LOOM is a workload-aware streaming graph partitioner.  It composes the
+substrates of this library:
+
+* a :class:`~repro.tpstry.trie.TPSTryPP` summarising the frequent motifs of
+  the query workload ``Q`` (section 4.2),
+* a :class:`~repro.stream.window.SlidingWindow` buffering the graph stream
+  (section 4.1),
+* a :class:`~repro.core.matcher.StreamMotifMatcher` detecting motif matches
+  inside the window with incremental number-theoretic signatures,
+  including the section-4.3 re-signature procedure,
+* sub-graph LDG assignment of whole motif matches when their oldest vertex
+  is due to leave the window (section 4.4), plain vertex LDG otherwise.
+
+Entry point: :class:`~repro.core.loom.LoomPartitioner`.
+"""
+
+from repro.core.config import LoomConfig
+from repro.core.matcher import MotifMatch, StreamMotifMatcher
+from repro.core.loom import LoomPartitioner
+from repro.core.traversal_aware import TraversalAwareLDG
+
+__all__ = [
+    "LoomConfig",
+    "MotifMatch",
+    "StreamMotifMatcher",
+    "LoomPartitioner",
+    "TraversalAwareLDG",
+]

@@ -1,0 +1,79 @@
+"""LOOM configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class LoomConfig:
+    """All knobs of the LOOM partitioner in one validated value object.
+
+    ``k``
+        Number of partitions.
+    ``capacity``
+        Hard per-partition vertex capacity ``C`` (the balance constraint;
+        usually ``ceil(slack * n / k)`` -- see
+        :func:`repro.partitioning.base.default_capacity`).
+    ``window_size``
+        Vertices buffered in the sliding stream window.  ``1`` disables
+        buffering and degrades LOOM to plain LDG (experiment E4).
+    ``motif_threshold``
+        The paper's ``T``: TPSTry++ nodes with p-value >= T are frequent
+        motifs.  Values above 1.0 disable motif grouping (experiment E5).
+    ``max_group_size``
+        Cap on the merged assignment group (overlapping motif matches can
+        chain; section 4.4 flags unbounded groups as a risk).
+    ``group_matches``
+        Master switch for whole-match assignment (ablation A2; off means
+        the window still buffers but every vertex is placed individually).
+    ``resignature_fix``
+        The section-4.3 incremental re-signature procedure that recovers
+        motif matches hidden by shared sub-structure (ablation A1).
+    ``authoritative_motifs``
+        Key TPSTry++ nodes by exact canonical form and verify stream
+        matches by isomorphism instead of trusting signature equality.
+    ``traversal_aware_singles``
+        Future-work extension (paper section 5): weight single-vertex LDG
+        by TPSTry++ edge-traversal probabilities (ablation A4).
+    ``oversize_strategy``
+        What to do when no partition can absorb a whole group.
+        ``"individual"`` (the conservative default) places the group's
+        vertices one by one with vertex LDG; ``"split"`` realises the
+        paper's *other* future-work item -- "a local partitioning
+        procedure for large matched sub-graphs" -- by recursively halving
+        the group along its connectivity and placing the halves with
+        sub-graph LDG.
+    """
+
+    k: int
+    capacity: int
+    window_size: int = 64
+    motif_threshold: float = 0.4
+    max_group_size: int = 32
+    group_matches: bool = True
+    resignature_fix: bool = True
+    authoritative_motifs: bool = False
+    traversal_aware_singles: bool = False
+    oversize_strategy: str = "individual"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        if self.window_size < 1:
+            raise ConfigurationError("window_size must be >= 1")
+        if self.motif_threshold <= 0:
+            raise ConfigurationError("motif_threshold must be positive")
+        if self.max_group_size < 2:
+            raise ConfigurationError(
+                "max_group_size must be >= 2 (a group is at least one edge)"
+            )
+        if self.oversize_strategy not in ("individual", "split"):
+            raise ConfigurationError(
+                "oversize_strategy must be 'individual' or 'split', "
+                f"got {self.oversize_strategy!r}"
+            )

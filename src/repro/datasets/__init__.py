@@ -1,0 +1,35 @@
+"""Domain-flavoured synthetic property graphs + matching workloads.
+
+The paper motivates pattern matching over large graphs with fraud
+detection, recommender systems and protein/genome analysis, but reports no
+datasets (workshop paper).  These generators stand in for the missing
+production data: each builds a labelled property graph whose schema forces
+the label-correlated recurring sub-structures that pattern workloads
+traverse, plus the workload a client of that domain would run.
+
+* :func:`repro.datasets.social.social_network` /
+  :func:`repro.datasets.social.social_workload` -- users, posts, comments
+  and pages (the GDBMS/online-query setting of the paper's introduction).
+* :func:`repro.datasets.fraud.fraud_network` /
+  :func:`repro.datasets.fraud.fraud_workload` -- accounts, devices, cards
+  and rings (citation [18] of the paper).
+* :func:`repro.datasets.citation.citation_network` /
+  :func:`repro.datasets.citation.citation_workload` -- papers, authors and
+  venues (recommender-style traversals, citation [7]).
+"""
+
+from repro.datasets.social import social_network, social_workload
+from repro.datasets.fraud import fraud_network, fraud_workload
+from repro.datasets.citation import citation_network, citation_workload
+from repro.datasets.protein import protein_network, protein_workload
+
+__all__ = [
+    "social_network",
+    "social_workload",
+    "fraud_network",
+    "fraud_workload",
+    "citation_network",
+    "citation_workload",
+    "protein_network",
+    "protein_workload",
+]

@@ -1,0 +1,115 @@
+"""Fraud-detection property graph: accounts, devices, cards, merchants.
+
+Fraud detection is the paper's first motivating application (its citation
+[18]).  The tell-tale structures are *rings*: small groups of accounts that
+share devices and payment cards and transact with the same merchants.
+The generator plants a configurable number of rings inside a larger
+population of legitimate accounts, so the fraud workload's patterns
+(shared-device wedges, card triangles) occur densely in ring
+neighbourhoods and sparsely elsewhere -- partition those neighbourhoods
+apart and every fraud sweep pays cross-partition traffic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.labelled import LabelledGraph
+from repro.workload.query import PatternQuery
+from repro.workload.workloads import Workload
+
+ACCOUNT, DEVICE, CARD, MERCHANT = "acct", "dev", "card", "mrch"
+
+
+def fraud_network(
+    n_accounts: int = 120,
+    *,
+    n_rings: int = 8,
+    ring_size: int = 4,
+    n_merchants: int | None = None,
+    rng: random.Random,
+) -> LabelledGraph:
+    """Generate the fraud property graph.
+
+    Legitimate accounts get a private device and card and shop at random
+    merchants.  Each ring is ``ring_size`` accounts wired to one shared
+    device, one shared card and one preferred merchant.
+    """
+    if n_accounts < n_rings * ring_size:
+        raise ValueError("not enough accounts to host the requested rings")
+    graph = LabelledGraph()
+    merchant_count = n_merchants if n_merchants is not None else max(3, n_accounts // 15)
+
+    accounts = [f"a{i}" for i in range(n_accounts)]
+    for account in accounts:
+        graph.add_vertex(account, ACCOUNT)
+    merchants = [f"m{i}" for i in range(merchant_count)]
+    for merchant in merchants:
+        graph.add_vertex(merchant, MERCHANT)
+
+    device_index = 0
+    card_index = 0
+
+    def new_device() -> str:
+        nonlocal device_index
+        vertex = f"d{device_index}"
+        device_index += 1
+        graph.add_vertex(vertex, DEVICE)
+        return vertex
+
+    def new_card() -> str:
+        nonlocal card_index
+        vertex = f"k{card_index}"
+        card_index += 1
+        graph.add_vertex(vertex, CARD)
+        return vertex
+
+    # Rings first: consecutive account blocks share a device and a card.
+    ring_members: set[str] = set()
+    for ring in range(n_rings):
+        members = accounts[ring * ring_size : (ring + 1) * ring_size]
+        ring_members.update(members)
+        shared_device = new_device()
+        shared_card = new_card()
+        preferred = rng.choice(merchants)
+        for member in members:
+            graph.add_edge(member, shared_device)
+            graph.add_edge(member, shared_card)
+            graph.add_edge(member, preferred)
+
+    # Legitimate accounts: private device/card, a couple of merchants.
+    for account in accounts:
+        if account in ring_members:
+            continue
+        graph.add_edge(account, new_device())
+        graph.add_edge(account, new_card())
+        for _ in range(1 + rng.randrange(2)):
+            graph.add_edge(account, rng.choice(merchants))
+
+    return graph
+
+
+def fraud_workload(*, skew: float = 1.0) -> Workload:
+    """The fraud analyst's query mix.
+
+    * ``shared_device`` -- account-device-account wedge: two accounts on
+      one device, the canonical ring signal;
+    * ``shared_card``   -- account-card-account wedge;
+    * ``ring_probe``    -- device-account-card-account: walk from a flagged
+      device through an account to its card and onward to accomplices;
+    * ``merchant_sweep`` -- merchant-account-device: who shops there and
+      from which devices.
+    """
+    shared_device = LabelledGraph.path([ACCOUNT, DEVICE, ACCOUNT])
+    shared_card = LabelledGraph.path([ACCOUNT, CARD, ACCOUNT])
+    ring_probe = LabelledGraph.path([DEVICE, ACCOUNT, CARD, ACCOUNT])
+    merchant_sweep = LabelledGraph.path([MERCHANT, ACCOUNT, DEVICE])
+    weights = [1.0 / (rank ** skew) for rank in range(1, 5)]
+    return Workload(
+        [
+            PatternQuery("shared_device", shared_device, weights[0]),
+            PatternQuery("shared_card", shared_card, weights[1]),
+            PatternQuery("ring_probe", ring_probe, weights[2]),
+            PatternQuery("merchant_sweep", merchant_sweep, weights[3]),
+        ]
+    )

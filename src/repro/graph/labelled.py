@@ -1,0 +1,327 @@
+"""Dynamic undirected labelled graph (the paper's section-2 definition).
+
+A :class:`LabelledGraph` stores a set of vertices ``V``, a surjective label
+mapping ``f_l : V -> L_V`` and a set of undirected edges ``E``.  It is the
+single graph representation shared by the whole library: query graphs,
+streamed graphs, motifs and partitions are all instances of this class (or
+cheap views over one).
+
+Vertices are arbitrary hashable identifiers (integers and strings in
+practice).  Edges are unordered pairs; :func:`edge_key` gives the canonical
+tuple used whenever an edge must act as a dictionary key.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+Vertex = Hashable
+Label = str
+Edge = tuple[Vertex, Vertex]
+
+
+def _vertex_sort_key(vertex: Vertex) -> tuple[str, str]:
+    """Total order over heterogeneous vertex ids (ints, strings, tuples)."""
+    return (type(vertex).__name__, repr(vertex))
+
+
+def edge_key(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (order-independent) tuple for the edge ``{u, v}``.
+
+    Integer pairs sort numerically; mixed-type pairs fall back to a stable
+    type-name/repr order so that ``edge_key(a, b) == edge_key(b, a)`` always
+    holds.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if _vertex_sort_key(u) <= _vertex_sort_key(v) else (v, u)
+
+
+class LabelledGraph:
+    """A dynamic, undirected, vertex-labelled graph.
+
+    >>> g = LabelledGraph()
+    >>> g.add_vertex(1, "a")
+    1
+    >>> g.add_vertex(2, "b")
+    2
+    >>> g.add_edge(1, 2)
+    (1, 2)
+    >>> g.label(1), g.degree(2), g.num_edges
+    ('a', 1, 1)
+
+    The class deliberately exposes a small, explicit API (Zen: "explicit is
+    better than implicit"); bulk helpers such as :meth:`from_edges` build on
+    it rather than bypassing it.
+    """
+
+    __slots__ = ("_adj", "_labels", "_num_edges")
+
+    def __init__(self) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        self._labels: dict[Vertex, Label] = {}
+        self._num_edges: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Mapping[Vertex, Label],
+        edges: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> "LabelledGraph":
+        """Build a graph from a label mapping and an edge iterable.
+
+        Every endpoint of every edge must appear in ``labels``.
+        """
+        graph = cls()
+        for vertex, label in labels.items():
+            graph.add_vertex(vertex, label)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def path(cls, labels: Iterable[Label], *, start_id: int = 0) -> "LabelledGraph":
+        """Build a simple path graph whose vertices carry ``labels`` in order.
+
+        Convenient for constructing the path-shaped query graphs that
+        dominate the paper's example workloads (e.g. ``a-b-c``).
+        """
+        graph = cls()
+        previous: Vertex | None = None
+        for offset, label in enumerate(labels):
+            vertex = start_id + offset
+            graph.add_vertex(vertex, label)
+            if previous is not None:
+                graph.add_edge(previous, vertex)
+            previous = vertex
+        return graph
+
+    @classmethod
+    def cycle(cls, labels: Iterable[Label], *, start_id: int = 0) -> "LabelledGraph":
+        """Build a simple cycle graph over ``labels`` (at least 3 of them)."""
+        label_list = list(labels)
+        if len(label_list) < 3:
+            raise GraphError("a cycle needs at least 3 vertices")
+        graph = cls.path(label_list, start_id=start_id)
+        graph.add_edge(start_id, start_id + len(label_list) - 1)
+        return graph
+
+    @classmethod
+    def star(
+        cls, centre_label: Label, leaf_labels: Iterable[Label], *, start_id: int = 0
+    ) -> "LabelledGraph":
+        """Build a star: one centre vertex connected to one leaf per label."""
+        graph = cls()
+        centre = start_id
+        graph.add_vertex(centre, centre_label)
+        for offset, label in enumerate(leaf_labels, start=1):
+            leaf = start_id + offset
+            graph.add_vertex(leaf, label)
+            graph.add_edge(centre, leaf)
+        return graph
+
+    def copy(self) -> "LabelledGraph":
+        """Return an independent deep copy of this graph."""
+        clone = LabelledGraph()
+        clone._labels = dict(self._labels)
+        clone._adj = {vertex: set(nbrs) for vertex, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex, label: Label) -> Vertex:
+        """Add ``vertex`` with ``label``; re-adding with the same label is a no-op.
+
+        Re-adding an existing vertex with a *different* label is an error:
+        the label mapping of the paper is a function, so a vertex cannot
+        carry two labels.
+        """
+        existing = self._labels.get(vertex)
+        if existing is None:
+            self._labels[vertex] = label
+            self._adj[vertex] = set()
+        elif existing != label:
+            raise GraphError(
+                f"vertex {vertex!r} already has label {existing!r}, not {label!r}"
+            )
+        return vertex
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all its incident edges."""
+        neighbours = self._adj.get(vertex)
+        if neighbours is None:
+            raise VertexNotFoundError(vertex)
+        for neighbour in list(neighbours):
+            self.remove_edge(vertex, neighbour)
+        del self._adj[vertex]
+        del self._labels[vertex]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._labels
+
+    def label(self, vertex: Vertex) -> Label:
+        """Return the label of ``vertex`` (raises if absent)."""
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over vertex ids in insertion order."""
+        return iter(self._labels)
+
+    def vertex_labels(self) -> Mapping[Vertex, Label]:
+        """Read-only view of the vertex -> label mapping."""
+        return dict(self._labels)
+
+    def labels(self) -> set[Label]:
+        """The label alphabet ``L_V`` actually used by this graph."""
+        return set(self._labels.values())
+
+    def vertices_with_label(self, label: Label) -> list[Vertex]:
+        """All vertices carrying ``label`` (insertion order)."""
+        return [v for v, l in self._labels.items() if l == label]
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex) -> Edge:
+        """Add the undirected edge ``{u, v}``; both endpoints must exist.
+
+        Self loops are rejected (the paper's graphs are simple), and
+        re-adding an existing edge is a harmless no-op, which simplifies
+        stream replay.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} not allowed in a simple graph")
+        if u not in self._adj:
+            raise VertexNotFoundError(u)
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+        return edge_key(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``{u, v}`` (raises if absent)."""
+        if u not in self._adj or v not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        neighbours = self._adj.get(u)
+        return neighbours is not None and v in neighbours
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over canonical edge tuples, each edge exactly once."""
+        seen: set[Edge] = set()
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def neighbours(self, vertex: Vertex) -> frozenset[Vertex]:
+        """The neighbour set of ``vertex`` as an immutable snapshot."""
+        try:
+            return frozenset(self._adj[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        try:
+            return len(self._adj[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    # ------------------------------------------------------------------
+    # Size / dunder protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._labels
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same vertex ids, labels and edge set.
+
+        Note this is *identity* equality, not isomorphism; use
+        :func:`repro.graph.isomorphism.is_isomorphic` for shape equality.
+        """
+        if not isinstance(other, LabelledGraph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._num_edges == other._num_edges
+            and all(self._adj[v] == other._adj[v] for v in self._adj)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, therefore unhashable
+        raise TypeError("LabelledGraph is mutable and unhashable; use a key view")
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelledGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"labels={sorted(self.labels())!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def edge_signature_key(self) -> frozenset[Any]:
+        """Hashable identity of this graph: labelled vertices + edge set.
+
+        Used to deduplicate sub-graphs that share every vertex and edge
+        (e.g. the same motif instance reached through two expansion orders).
+        """
+        vertex_part = frozenset(self._labels.items())
+        edge_part = frozenset(self.edges())
+        return frozenset((vertex_part, edge_part))
+
+    def label_histogram(self) -> dict[Label, int]:
+        """Count of vertices per label."""
+        histogram: dict[Label, int] = {}
+        for label in self._labels.values():
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Count of vertices per degree value."""
+        histogram: dict[int, int] = {}
+        for vertex in self._adj:
+            d = len(self._adj[vertex])
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram
+
+    def density(self) -> float:
+        """Edge density ``2|E| / (|V| (|V|-1))`` (0 for graphs with < 2 vertices)."""
+        n = self.num_vertices
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))

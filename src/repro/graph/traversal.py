@@ -1,0 +1,159 @@
+"""Graph traversal orders and connectivity utilities.
+
+These are used in two different roles:
+
+* producing the BFS/DFS *stream orderings* of section 3.1 of the paper
+  (streaming partitioners are sensitive to element order), and
+* structural queries needed by the partitioners and the matcher
+  (connected components, connectivity checks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+import random
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labelled import LabelledGraph, Vertex
+
+
+def bfs_order(
+    graph: LabelledGraph,
+    start: Vertex | None = None,
+    *,
+    rng: random.Random | None = None,
+) -> list[Vertex]:
+    """Breadth-first vertex order covering *all* components.
+
+    When ``rng`` is given, the start vertex of each component and the
+    expansion order of each neighbourhood are shuffled, giving the
+    "stochastic" flavour of ordering the paper considers; otherwise the
+    order is deterministic (insertion order).
+    """
+    return _search_order(graph, start, rng, depth_first=False)
+
+
+def dfs_order(
+    graph: LabelledGraph,
+    start: Vertex | None = None,
+    *,
+    rng: random.Random | None = None,
+) -> list[Vertex]:
+    """Depth-first vertex order covering all components (iterative)."""
+    return _search_order(graph, start, rng, depth_first=True)
+
+
+def _search_order(
+    graph: LabelledGraph,
+    start: Vertex | None,
+    rng: random.Random | None,
+    *,
+    depth_first: bool,
+) -> list[Vertex]:
+    all_vertices = list(graph.vertices())
+    if start is not None and not graph.has_vertex(start):
+        raise VertexNotFoundError(start)
+    if rng is not None:
+        rng.shuffle(all_vertices)
+    if start is not None:
+        # Make the requested start the first component seed.
+        all_vertices.remove(start)
+        all_vertices.insert(0, start)
+
+    order: list[Vertex] = []
+    visited: set[Vertex] = set()
+    for seed in all_vertices:
+        if seed in visited:
+            continue
+        frontier: deque[Vertex] = deque([seed])
+        visited.add(seed)
+        while frontier:
+            vertex = frontier.pop() if depth_first else frontier.popleft()
+            order.append(vertex)
+            neighbours = sorted(graph.neighbours(vertex), key=repr)
+            if rng is not None:
+                rng.shuffle(neighbours)
+            for neighbour in neighbours:
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append(neighbour)
+    return order
+
+
+def connected_components(graph: LabelledGraph) -> list[set[Vertex]]:
+    """All connected components as vertex sets (largest first)."""
+    components: list[set[Vertex]] = []
+    visited: set[Vertex] = set()
+    for seed in graph.vertices():
+        if seed in visited:
+            continue
+        component: set[Vertex] = set()
+        frontier = deque([seed])
+        visited.add(seed)
+        while frontier:
+            vertex = frontier.popleft()
+            component.add(vertex)
+            for neighbour in graph.neighbours(vertex):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: LabelledGraph) -> bool:
+    """True when the graph has exactly one connected component.
+
+    The empty graph is considered connected (vacuously), matching the
+    convention that motif graphs are built edge-by-edge from a seed vertex.
+    """
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)[0]) == graph.num_vertices
+
+
+def component_of(graph: LabelledGraph, vertex: Vertex) -> set[Vertex]:
+    """The connected component containing ``vertex``."""
+    if not graph.has_vertex(vertex):
+        raise VertexNotFoundError(vertex)
+    component: set[Vertex] = {vertex}
+    frontier = deque([vertex])
+    while frontier:
+        current = frontier.popleft()
+        for neighbour in graph.neighbours(current):
+            if neighbour not in component:
+                component.add(neighbour)
+                frontier.append(neighbour)
+    return component
+
+
+def triangles_through(graph: LabelledGraph, vertex: Vertex) -> int:
+    """Number of triangles incident to ``vertex`` (used by the triangle-
+    weighted streaming heuristic of Stanton & Kliot)."""
+    neighbours = graph.neighbours(vertex)
+    count = 0
+    seen: set[frozenset[Vertex]] = set()
+    for u in neighbours:
+        for w in graph.neighbours(u):
+            if w in neighbours and w != vertex:
+                pair = frozenset((u, w))
+                if pair not in seen:
+                    seen.add(pair)
+                    count += 1
+    return count
+
+
+def edges_in_order(graph: LabelledGraph, vertex_order: list[Vertex]) -> Iterator[tuple[Vertex, Vertex]]:
+    """Yield every edge once, ordered by the position of its *later* endpoint.
+
+    This converts a vertex ordering into the canonical edge arrival sequence
+    of a graph stream: an edge becomes visible the moment its second
+    endpoint arrives (the model used by Stanton & Kliot and Fennel).
+    """
+    position = {vertex: index for index, vertex in enumerate(vertex_order)}
+    for vertex in vertex_order:
+        for neighbour in sorted(graph.neighbours(vertex), key=lambda v: position[v]):
+            if position[neighbour] < position[vertex]:
+                yield (neighbour, vertex)

@@ -1,0 +1,228 @@
+"""Partition assignment state and the streaming driver.
+
+A *k-balanced graph partitioning* (paper section 2) is a disjoint family of
+vertex sets.  :class:`PartitionAssignment` is the mutable realisation every
+partitioner builds: vertex -> partition index, with per-partition sizes and
+a hard capacity ``C`` (the balance constraint of section 4.1).
+
+Streaming heuristics see each vertex once, together with its edges toward
+already-arrived vertices, and must place it immediately --
+:func:`partition_stream` drives any :class:`StreamingVertexPartitioner`
+over an event stream under exactly that contract.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Collection, Sequence
+
+from repro.exceptions import CapacityExceededError, PartitioningError
+from repro.graph.labelled import Label, LabelledGraph, Vertex
+from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
+from repro.stream.sources import stream_from_graph
+
+
+class PartitionAssignment:
+    """Vertex -> partition map with capacity accounting."""
+
+    def __init__(self, k: int, capacity: int) -> None:
+        if k < 1:
+            raise PartitioningError("k must be >= 1")
+        if capacity < 1:
+            raise PartitioningError("capacity must be >= 1")
+        self.k = k
+        self.capacity = capacity
+        self._partition_of: dict[Vertex, int] = {}
+        self._sizes: list[int] = [0] * k
+
+    # ------------------------------------------------------------------
+    def assign(self, vertex: Vertex, partition: int) -> None:
+        """Place ``vertex`` into ``partition`` (once; capacity enforced)."""
+        if not 0 <= partition < self.k:
+            raise PartitioningError(
+                f"partition {partition} out of range [0, {self.k})"
+            )
+        if vertex in self._partition_of:
+            raise PartitioningError(f"vertex {vertex!r} already assigned")
+        if self._sizes[partition] >= self.capacity:
+            raise CapacityExceededError(
+                f"partition {partition} is full (capacity {self.capacity})"
+            )
+        self._partition_of[vertex] = partition
+        self._sizes[partition] += 1
+
+    def move(self, vertex: Vertex, partition: int) -> None:
+        """Re-place an assigned vertex (offline refinement only)."""
+        current = self.partition_of(vertex)
+        if current is None:
+            raise PartitioningError(f"vertex {vertex!r} not assigned")
+        if not 0 <= partition < self.k:
+            raise PartitioningError(
+                f"partition {partition} out of range [0, {self.k})"
+            )
+        if current == partition:
+            return
+        if self._sizes[partition] >= self.capacity:
+            raise CapacityExceededError(
+                f"partition {partition} is full (capacity {self.capacity})"
+            )
+        self._sizes[current] -= 1
+        self._sizes[partition] += 1
+        self._partition_of[vertex] = partition
+
+    def partition_of(self, vertex: Vertex) -> int | None:
+        """The partition hosting ``vertex``, or ``None`` if unassigned."""
+        return self._partition_of.get(vertex)
+
+    # ------------------------------------------------------------------
+    def size(self, partition: int) -> int:
+        return self._sizes[partition]
+
+    def sizes(self) -> list[int]:
+        return list(self._sizes)
+
+    def free_capacity(self, partition: int) -> int:
+        return self.capacity - self._sizes[partition]
+
+    def feasible_partitions(self, *, room_for: int = 1) -> list[int]:
+        """Partitions with space for ``room_for`` more vertices."""
+        return [
+            i for i in range(self.k) if self._sizes[i] + room_for <= self.capacity
+        ]
+
+    def blocks(self) -> list[set[Vertex]]:
+        """The partitioning as vertex sets ``[V_0, ..., V_{k-1}]``."""
+        out: list[set[Vertex]] = [set() for _ in range(self.k)]
+        for vertex, partition in self._partition_of.items():
+            out[partition].add(vertex)
+        return out
+
+    def assigned(self) -> dict[Vertex, int]:
+        return dict(self._partition_of)
+
+    @property
+    def num_assigned(self) -> int:
+        return len(self._partition_of)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._partition_of
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionAssignment(k={self.k}, capacity={self.capacity}, "
+            f"sizes={self._sizes})"
+        )
+
+
+def default_capacity(n: int, k: int, slack: float = 1.1) -> int:
+    """The usual balance constraint: ``ceil(slack * n / k)`` vertices."""
+    if n < 0 or k < 1:
+        raise PartitioningError("need n >= 0 and k >= 1")
+    if slack < 1.0:
+        raise PartitioningError("slack below 1.0 cannot fit all vertices")
+    return max(1, math.ceil(slack * n / k))
+
+
+class StreamingVertexPartitioner(ABC):
+    """One-pass vertex placement policy.
+
+    ``place`` receives the arriving vertex, its label, and its neighbours
+    among *already placed* vertices, and must return a partition index
+    with free capacity.  Implementations must be deterministic given their
+    constructor arguments (any randomness comes from an injected ``rng``).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(
+        self,
+        vertex: Vertex,
+        label: Label,
+        placed_neighbours: Collection[Vertex],
+        assignment: PartitionAssignment,
+    ) -> int:
+        """Choose a partition for the arriving vertex."""
+
+    # Helper shared by greedy implementations.
+    @staticmethod
+    def neighbour_counts(
+        placed_neighbours: Collection[Vertex], assignment: PartitionAssignment
+    ) -> list[int]:
+        counts = [0] * assignment.k
+        for neighbour in placed_neighbours:
+            partition = assignment.partition_of(neighbour)
+            if partition is not None:
+                counts[partition] += 1
+        return counts
+
+    @staticmethod
+    def fallback_partition(assignment: PartitionAssignment) -> int:
+        """Least-loaded feasible partition (ties toward lower index)."""
+        feasible = assignment.feasible_partitions()
+        if not feasible:
+            raise CapacityExceededError("no partition has free capacity")
+        return min(feasible, key=lambda i: (assignment.size(i), i))
+
+
+def partition_stream(
+    partitioner: StreamingVertexPartitioner,
+    events: Sequence[StreamEvent],
+    *,
+    k: int,
+    capacity: int,
+) -> PartitionAssignment:
+    """Drive a streaming partitioner over an event stream.
+
+    Each vertex is placed when it arrives, seeing exactly the edges that
+    arrived with it (ours follow their vertex immediately, the standard
+    streaming model).  Edges arriving after both endpoints were placed
+    ("late" edges) cannot influence placement -- they only affect quality
+    metrics, which is precisely the streaming model's limitation.
+    """
+    assignment = PartitionAssignment(k, capacity)
+    pending_vertex: tuple[Vertex, Label] | None = None
+    pending_neighbours: list[Vertex] = []
+
+    def flush() -> None:
+        nonlocal pending_vertex
+        if pending_vertex is None:
+            return
+        vertex, label = pending_vertex
+        partition = partitioner.place(
+            vertex, label, pending_neighbours, assignment
+        )
+        assignment.assign(vertex, partition)
+        pending_vertex = None
+        pending_neighbours.clear()
+
+    for event in events:
+        if isinstance(event, VertexArrival):
+            flush()
+            pending_vertex = (event.vertex, event.label)
+        elif isinstance(event, EdgeArrival):
+            if pending_vertex is not None and event.v == pending_vertex[0]:
+                pending_neighbours.append(event.u)
+            elif pending_vertex is not None and event.u == pending_vertex[0]:
+                pending_neighbours.append(event.v)
+            # else: late edge, both endpoints already placed -- metric-only.
+    flush()
+    return assignment
+
+
+def partition_graph(
+    partitioner: StreamingVertexPartitioner,
+    graph: LabelledGraph,
+    *,
+    k: int,
+    ordering: str = "random",
+    rng: random.Random | None = None,
+    slack: float = 1.1,
+    capacity: int | None = None,
+) -> PartitionAssignment:
+    """Convenience wrapper: stream a static graph and partition it."""
+    events = stream_from_graph(graph, ordering=ordering, rng=rng)
+    resolved = capacity or default_capacity(graph.num_vertices, k, slack)
+    return partition_stream(partitioner, events, k=k, capacity=resolved)

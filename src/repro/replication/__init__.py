@@ -1,0 +1,17 @@
+"""Workload-aware hotspot replication (the paper's section-3.2 complement).
+
+The paper discusses Yang et al's approach -- dynamically replicating
+"hotspots" (clusters of vertices over 2 or more partitions which are being
+frequently traversed) into temporary secondary partitions -- and argues
+that LOOM *complements* such mechanisms: a workload-aware initial
+partitioning leaves fewer hotspots for the replicator to chase.
+
+:class:`~repro.replication.hotspot.HotspotReplicator` implements the
+mechanism over the simulated store, and experiment E12 measures the
+complementarity claim: the replica budget needed to reach a target
+traversal probability, by initial partitioner.
+"""
+
+from repro.replication.hotspot import HotspotReplicator, ReplicationReport
+
+__all__ = ["HotspotReplicator", "ReplicationReport"]

@@ -1,0 +1,41 @@
+"""Stream event types.
+
+A graph stream is an iterable of :class:`VertexArrival` and
+:class:`EdgeArrival` events.  We use the standard streaming-partitioner
+convention (Stanton & Kliot, Fennel): a vertex arrives together with the
+edges that connect it to *already-arrived* vertices, so an
+:class:`EdgeArrival` always references two vertices that have both arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.labelled import Label, Vertex
+
+
+@dataclass(frozen=True, slots=True)
+class VertexArrival:
+    """A new vertex (with its label) appears in the stream at ``time``."""
+
+    vertex: Vertex
+    label: Label
+    time: int
+
+    def __str__(self) -> str:
+        return f"+v {self.vertex}:{self.label} @{self.time}"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeArrival:
+    """A new edge appears; both endpoints have already arrived."""
+
+    u: Vertex
+    v: Vertex
+    time: int
+
+    def __str__(self) -> str:
+        return f"+e ({self.u}, {self.v}) @{self.time}"
+
+
+StreamEvent = VertexArrival | EdgeArrival

@@ -1,0 +1,156 @@
+"""The sliding stream window LOOM buffers (paper section 4.1).
+
+LOOM does not assign elements the instant they arrive; it buffers a sliding
+window over the graph-stream so that motif matches can form before their
+vertices are placed.  :class:`SlidingWindow` is a count-based window (the
+paper allows count- or time-based; count-based keeps experiments
+deterministic) holding:
+
+* the buffered sub-graph (vertices still in the window plus edges among
+  them), and
+* for every buffered vertex, its *external* neighbours -- vertices that
+  already left the window (and were therefore already assigned to a
+  partition).  These are what the LDG heuristic scores against at
+  assignment time.
+
+Vertices normally leave oldest-first, but motif-group assignment may remove
+younger vertices early (section 4.4 assigns a whole matching sub-graph when
+its oldest member is due), so removal of arbitrary buffered vertices is
+supported.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.exceptions import StreamError
+from repro.graph.labelled import Label, LabelledGraph, Vertex
+
+
+@dataclass(frozen=True, slots=True)
+class WindowedVertex:
+    """A vertex leaving the window, with the neighbour context needed to
+    assign it: buffered neighbours stay unplaced, external neighbours are
+    already placed."""
+
+    vertex: Vertex
+    label: Label
+    external_neighbours: frozenset[Vertex] = field(default_factory=frozenset)
+
+
+class SlidingWindow:
+    """Count-based sliding window over a graph stream."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise StreamError("window capacity must be >= 1")
+        self.capacity = capacity
+        self.graph = LabelledGraph()
+        self._arrivals: OrderedDict[Vertex, None] = OrderedDict()
+        self._external: dict[Vertex, set[Vertex]] = {}
+
+    # ------------------------------------------------------------------
+    # Arrival
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex, label: Label) -> None:
+        """Buffer a newly arrived vertex.  The caller must make room first
+        (:meth:`is_full` / :meth:`evict_oldest`): an over-full window would
+        silently change LOOM's assignment order."""
+        if self.is_full:
+            raise StreamError(f"window full (capacity {self.capacity})")
+        if vertex in self._arrivals:
+            raise StreamError(f"vertex {vertex!r} already buffered")
+        self.graph.add_vertex(vertex, label)
+        self._arrivals[vertex] = None
+        self._external[vertex] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> str:
+        """Register an arriving edge; returns where it landed.
+
+        ``"internal"`` -- both endpoints buffered, edge joins the window
+        sub-graph (and may extend motif matches);
+        ``"external"``  -- exactly one endpoint buffered; recorded as a
+        placed neighbour of the buffered endpoint;
+        ``"departed"``  -- both endpoints already left the window (possible
+        when motif grouping removed them early); nothing to buffer, the
+        edge can no longer influence assignment.
+        """
+        u_in = u in self._arrivals
+        v_in = v in self._arrivals
+        if u_in and v_in:
+            self.graph.add_edge(u, v)
+            return "internal"
+        if u_in:
+            self._external[u].add(v)
+            return "external"
+        if v_in:
+            self._external[v].add(u)
+            return "external"
+        return "departed"
+
+    # ------------------------------------------------------------------
+    # Departure
+    # ------------------------------------------------------------------
+    def oldest(self) -> Vertex:
+        """The vertex next in line to leave (raises on empty window)."""
+        try:
+            return next(iter(self._arrivals))
+        except StopIteration:
+            raise StreamError("window is empty") from None
+
+    def evict_oldest(self) -> WindowedVertex:
+        """Remove and return the oldest buffered vertex."""
+        return self.remove(self.oldest())
+
+    def remove(self, vertex: Vertex) -> WindowedVertex:
+        """Remove an arbitrary buffered vertex (motif-group assignment).
+
+        Buffered neighbours of the departing vertex see it move to their
+        external (already-placed) set.
+        """
+        if vertex not in self._arrivals:
+            raise StreamError(f"vertex {vertex!r} not buffered")
+        internal = self.graph.neighbours(vertex)
+        external = frozenset(self._external.pop(vertex))
+        departed = WindowedVertex(
+            vertex=vertex,
+            label=self.graph.label(vertex),
+            external_neighbours=external,
+        )
+        for neighbour in internal:
+            self._external[neighbour].add(vertex)
+        self.graph.remove_vertex(vertex)
+        del self._arrivals[vertex]
+        return departed
+
+    def drain(self) -> list[WindowedVertex]:
+        """Evict everything, oldest first (end-of-stream flush)."""
+        drained: list[WindowedVertex] = []
+        while self._arrivals:
+            drained.append(self.evict_oldest())
+        return drained
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def external_neighbours(self, vertex: Vertex) -> frozenset[Vertex]:
+        """Already-placed neighbours of a buffered vertex."""
+        try:
+            return frozenset(self._external[vertex])
+        except KeyError:
+            raise StreamError(f"vertex {vertex!r} not buffered") from None
+
+    def arrival_order(self) -> list[Vertex]:
+        """Buffered vertices, oldest first."""
+        return list(self._arrivals)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._arrivals) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._arrivals

@@ -1,0 +1,110 @@
+"""The original path-only TPSTry (ablation baseline A3).
+
+The authors' earlier work (referenced in section 4.2) defined the TPSTry: a
+*trie* encoding the frequent label *paths* of a workload of path queries.
+It cannot represent branches or cycles -- the paper's figure-1 query ``q1``
+(a labelled square) is exactly the kind of motif it misses, which motivated
+the TPSTry++ generalisation.  We keep a faithful path-only implementation
+so experiment A3 can quantify what the DAG buys.
+
+Node identity: a label sequence, canonicalised to the lexicographically
+smaller of itself and its reverse (paths are undirected).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.exceptions import WorkloadError
+from repro.graph.labelled import LabelledGraph, Vertex
+from repro.workload.query import PatternQuery
+from repro.workload.workloads import Workload
+
+PathKey = tuple[str, ...]
+
+
+def _canonical_path(labels: tuple[str, ...]) -> PathKey:
+    reverse = labels[::-1]
+    return labels if labels <= reverse else reverse
+
+
+class PathTPSTry:
+    """Trie over the label paths occurring in a workload's query graphs."""
+
+    def __init__(self, *, max_length: int = 6) -> None:
+        if max_length < 1:
+            raise WorkloadError("max_length must be >= 1")
+        self.max_length = max_length
+        self._support: dict[PathKey, float] = {}
+        self._queries: dict[PathKey, set[str]] = {}
+        self._total_frequency = 0.0
+
+    @classmethod
+    def from_workload(cls, workload: Workload, *, max_length: int = 6) -> "PathTPSTry":
+        trie = cls(max_length=max_length)
+        for query in workload:
+            trie.add_query(query)
+        return trie
+
+    def add_query(self, query: PatternQuery) -> None:
+        """Register every simple label path of the query graph (each path
+        shape counted once per query, as in the TPSTry++)."""
+        self._total_frequency += query.frequency
+        for key in set(_simple_label_paths(query.graph, self.max_length)):
+            if query.name in self._queries.get(key, ()):
+                continue
+            self._support[key] = self._support.get(key, 0.0) + query.frequency
+            self._queries.setdefault(key, set()).add(query.name)
+
+    def p_value(self, key: PathKey) -> float:
+        if not self._total_frequency:
+            return 0.0
+        return self._support.get(key, 0.0) / self._total_frequency
+
+    def frequent_paths(self, threshold: float, *, min_length: int = 2) -> list[PathKey]:
+        """Paths with p >= threshold, by decreasing length then support."""
+        if threshold <= 0:
+            raise WorkloadError("threshold must be positive")
+        chosen = [
+            key
+            for key in self._support
+            if len(key) >= min_length and self.p_value(key) >= threshold
+        ]
+        chosen.sort(key=lambda k: (-len(k), -self._support[k], k))
+        return chosen
+
+    def frequent_motifs(self, threshold: float, *, min_edges: int = 1):
+        """Frequent paths *as labelled graphs* -- drop-in replacement for
+        :meth:`repro.tpstry.trie.TPSTryPP.frequent_motifs` in ablations."""
+        return [
+            LabelledGraph.path(key)
+            for key in self.frequent_paths(threshold, min_length=min_edges + 1)
+        ]
+
+    def paths(self) -> Iterator[PathKey]:
+        return iter(self._support)
+
+    def __len__(self) -> int:
+        return len(self._support)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, tuple) and _canonical_path(key) in self._support
+
+
+def _simple_label_paths(
+    graph: LabelledGraph, max_length: int
+) -> Iterator[PathKey]:
+    """All simple (non-repeating) label paths of up to ``max_length``
+    vertices, canonicalised for direction."""
+
+    def extend(path: list[Vertex]) -> Iterator[PathKey]:
+        labels = tuple(graph.label(v) for v in path)
+        yield _canonical_path(labels)
+        if len(path) >= max_length:
+            return
+        for neighbour in sorted(graph.neighbours(path[-1]), key=repr):
+            if neighbour not in path:
+                yield from extend(path + [neighbour])
+
+    for start in graph.vertices():
+        yield from extend([start])

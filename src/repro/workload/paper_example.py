@@ -1,0 +1,55 @@
+"""The paper's figure 1, reconstructed exactly.
+
+Figure 1 shows a data graph ``G`` of eight labelled vertices::
+
+    5:b  6:a  7:d  8:c
+    1:a  2:b  3:c  4:d
+
+with edges (1,2), (2,3), (3,4) along the bottom row, (1,5), (2,6), (5,6)
+forming the a-b square {1,2,5,6}, and (6,7), (3,8), (7,8) on the right --
+chosen so that the answer to q1 is the sub-graph over vertices
+``{1, 2, 5, 6}`` as the text states, q2 (path ``a-b-c``) matches via vertex
+2, and q3 (path ``a-b-c-d``) extends q2 -- giving the query workload the
+shared sub-structure the TPSTry++ of figure 2 encodes.
+
+Queries:
+
+* ``q1`` -- the square with alternating labels ``a``/``b`` (a cycle motif,
+  out of reach of the original path-only TPSTry);
+* ``q2`` -- the path ``a-b-c``;
+* ``q3`` -- the path ``a-b-c-d`` (q2 plus one edge).
+"""
+
+from __future__ import annotations
+
+from repro.graph.labelled import LabelledGraph
+from repro.workload.query import PatternQuery
+from repro.workload.workloads import Workload
+
+
+def figure1_graph() -> LabelledGraph:
+    """The 8-vertex data graph ``G`` of figure 1."""
+    labels = {1: "a", 2: "b", 3: "c", 4: "d", 5: "b", 6: "a", 7: "d", 8: "c"}
+    edges = [
+        (1, 2), (2, 3), (3, 4),          # bottom row
+        (1, 5), (2, 6), (5, 6),          # the a-b square {1, 2, 5, 6}
+        (6, 7), (3, 8), (7, 8),          # upper-right structure
+    ]
+    return LabelledGraph.from_edges(labels, edges)
+
+
+def figure1_workload(
+    *,
+    q1_frequency: float = 1.0,
+    q2_frequency: float = 1.0,
+    q3_frequency: float = 1.0,
+) -> Workload:
+    """The workload ``Q = {q1, q2, q3}`` of figure 1.
+
+    The paper draws the queries without frequencies; the keyword arguments
+    let experiments skew them.
+    """
+    q1 = PatternQuery("q1", LabelledGraph.cycle("abab"), q1_frequency)
+    q2 = PatternQuery("q2", LabelledGraph.path("abc"), q2_frequency)
+    q3 = PatternQuery("q3", LabelledGraph.path("abcd"), q3_frequency)
+    return Workload([q1, q2, q3])

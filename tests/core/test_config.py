@@ -1,0 +1,39 @@
+"""Validation tests for LoomConfig."""
+
+import pytest
+
+from repro.core import LoomConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestLoomConfig:
+    def test_valid_defaults(self):
+        config = LoomConfig(k=4, capacity=100)
+        assert config.window_size == 64
+        assert config.group_matches is True
+        assert config.resignature_fix is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0, "capacity": 10},
+            {"k": 2, "capacity": 0},
+            {"k": 2, "capacity": 10, "window_size": 0},
+            {"k": 2, "capacity": 10, "motif_threshold": 0.0},
+            {"k": 2, "capacity": 10, "motif_threshold": -0.5},
+            {"k": 2, "capacity": 10, "max_group_size": 1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoomConfig(**kwargs)
+
+    def test_frozen(self):
+        config = LoomConfig(k=2, capacity=10)
+        with pytest.raises(AttributeError):
+            config.k = 3  # type: ignore[misc]
+
+    def test_threshold_above_one_allowed(self):
+        # T > 1 is the documented way to disable motif grouping (E5).
+        config = LoomConfig(k=2, capacity=10, motif_threshold=1.01)
+        assert config.motif_threshold == 1.01

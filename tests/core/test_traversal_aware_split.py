@@ -1,0 +1,134 @@
+"""Tests for the two future-work extensions: traversal-aware LDG scoring
+and local splitting of oversized motif groups."""
+
+import random
+
+import pytest
+
+from repro.core import LoomConfig, LoomPartitioner, TraversalAwareLDG
+from repro.exceptions import ConfigurationError
+from repro.graph import LabelledGraph
+from repro.graph.generators import plant_motifs
+from repro.partitioning import PartitionAssignment, partition_stream
+from repro.partitioning.base import default_capacity
+from repro.stream.sources import stream_from_graph
+from repro.tpstry import TPSTryPP
+from repro.workload import PatternQuery, Workload, figure1_workload
+
+
+class TestTraversalAwareLDG:
+    def make_trie(self):
+        return TPSTryPP.from_workload(figure1_workload())
+
+    def test_edge_probability_of_workload_edge(self):
+        ta = TraversalAwareLDG(self.make_trie())
+        # a-b occurs in every figure-1 query.
+        assert ta.edge_probability("a", "b") == pytest.approx(1.0)
+
+    def test_edge_probability_symmetric(self):
+        ta = TraversalAwareLDG(self.make_trie())
+        assert ta.edge_probability("a", "b") == ta.edge_probability("b", "a")
+
+    def test_edge_probability_of_unknown_edge_zero(self):
+        ta = TraversalAwareLDG(self.make_trie())
+        assert ta.edge_probability("a", "z") == 0.0
+
+    def test_negative_base_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TraversalAwareLDG(self.make_trie(), base_weight=-0.1)
+
+    def test_prefers_high_probability_neighbours(self):
+        # Vertex 'b' arrives with one 'a' neighbour in partition 0 and one
+        # 'd' neighbour in partition 1; a-b is a hot motif edge, b-d is
+        # not.  Plain LDG would tie (1 edge each); traversal-aware LDG
+        # must pick the a side.
+        trie = self.make_trie()
+        ta = TraversalAwareLDG(trie)
+        assignment = PartitionAssignment(2, 10)
+        assignment.assign("a1", 0)
+        assignment.assign("d1", 1)
+        ta.record_label("a1", "a")
+        ta.record_label("d1", "d")
+        chosen = ta.place("b1", "b", ["a1", "d1"], assignment)
+        assert chosen == 0
+
+    def test_unknown_neighbour_labels_fall_back_to_base(self):
+        ta = TraversalAwareLDG(self.make_trie())
+        assignment = PartitionAssignment(2, 10)
+        assignment.assign("x", 0)
+        # Label of 'x' never recorded: still places fine.
+        chosen = ta.place("b1", "b", ["x"], assignment)
+        assert chosen in (0, 1)
+
+    def test_works_as_standalone_partitioner(self):
+        graph = plant_motifs(
+            [(LabelledGraph.path("abc"), 10)], rng=random.Random(1)
+        )
+        events = stream_from_graph(graph, ordering="random", rng=random.Random(2))
+        trie = TPSTryPP.from_workload(
+            Workload([PatternQuery("abc", LabelledGraph.path("abc"))])
+        )
+        assignment = partition_stream(
+            TraversalAwareLDG(trie), events, k=3,
+            capacity=default_capacity(graph.num_vertices, 3, 1.2),
+        )
+        assert assignment.num_assigned == graph.num_vertices
+
+
+class TestOversizeSplit:
+    @staticmethod
+    def square_ladder(columns: int) -> LabelledGraph:
+        """A 2 x columns grid whose every unit square matches the a-b-a-b
+        cycle motif; adjacent squares share an edge, so the section-4.4
+        group closure merges the whole ladder into one giant group."""
+        graph = LabelledGraph()
+        for i in range(columns):
+            graph.add_vertex(("t", i), "a" if i % 2 == 0 else "b")
+            graph.add_vertex(("b", i), "b" if i % 2 == 0 else "a")
+        for i in range(columns):
+            graph.add_edge(("t", i), ("b", i))
+            if i + 1 < columns:
+                graph.add_edge(("t", i), ("t", i + 1))
+                graph.add_edge(("b", i), ("b", i + 1))
+        return graph
+
+    def oversized_scenario(self, strategy):
+        graph = self.square_ladder(12)       # 24 vertices, 11 chained squares
+        workload = Workload([PatternQuery("square", LabelledGraph.cycle("abab"))])
+        config = LoomConfig(
+            k=4, capacity=7, window_size=24, motif_threshold=0.5,
+            max_group_size=24, oversize_strategy=strategy,
+        )
+        loom = LoomPartitioner(workload, config)
+        events = stream_from_graph(graph, ordering="random", rng=random.Random(4))
+        return graph, loom, loom.partition_stream(events)
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoomConfig(k=2, capacity=4, oversize_strategy="magic")
+
+    @pytest.mark.parametrize("strategy", ["individual", "split"])
+    def test_both_strategies_complete_within_capacity(self, strategy):
+        graph, loom, assignment = self.oversized_scenario(strategy)
+        assert assignment.num_assigned == graph.num_vertices
+        assert max(assignment.sizes()) <= 7
+        assert loom.stats["split_groups"] > 0
+
+    def test_split_strategy_places_pieces_as_groups(self):
+        _, loom, _ = self.oversized_scenario("split")
+        # Halving must recover at least some grouped placements that the
+        # individual strategy gives up on.
+        assert loom.stats["groups"] > 0
+
+    def test_split_keeps_more_ladder_edges_internal(self):
+        graph, _, individual = self.oversized_scenario("individual")
+        _, _, split = self.oversized_scenario("split")
+
+        def cut_edges(assignment):
+            return sum(
+                1
+                for u, v in graph.edges()
+                if assignment.partition_of(u) != assignment.partition_of(v)
+            )
+
+        assert cut_edges(split) <= cut_edges(individual)

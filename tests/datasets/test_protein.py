@@ -1,0 +1,46 @@
+"""Tests for the protein-interaction dataset."""
+
+import random
+
+import pytest
+
+from repro.datasets import protein_network, protein_workload
+from repro.graph.traversal import connected_components
+
+
+class TestProteinNetwork:
+    def test_labels_match_schema(self):
+        g = protein_network(10, rng=random.Random(1))
+        assert g.labels() <= {"rcpt", "kin", "phos", "scaf", "tf"}
+
+    def test_pathways_planted(self):
+        g = protein_network(12, n_complexes=0, background_proteins=0,
+                            rng=random.Random(2))
+        signalling = protein_workload().queries[0]
+        assert len(signalling.answer(g)) >= 12
+
+    def test_complexes_are_triangles(self):
+        g = protein_network(2, n_complexes=8, background_proteins=0,
+                            rng=random.Random(3))
+        triangle = protein_workload().queries[2]
+        assert len(triangle.answer(g)) >= 8
+
+    def test_workload_queries_have_matches(self):
+        g = protein_network(15, n_complexes=10, rng=random.Random(4))
+        for query in protein_workload():
+            assert query.answer(g), f"{query.name} found no matches"
+
+    def test_single_component(self):
+        g = protein_network(10, n_complexes=5, background_proteins=10,
+                            rng=random.Random(5))
+        components = connected_components(g)
+        assert len(components[0]) > 0.8 * g.num_vertices
+
+    def test_reproducible(self):
+        a = protein_network(8, rng=random.Random(6))
+        b = protein_network(8, rng=random.Random(6))
+        assert a == b
+
+    def test_no_pathways_rejected(self):
+        with pytest.raises(ValueError):
+            protein_network(0, rng=random.Random(0))

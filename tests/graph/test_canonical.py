@@ -1,0 +1,101 @@
+"""Tests + property tests for exact canonical forms of labelled graphs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import LabelledGraph, canonical_form, is_isomorphic
+
+
+def relabel_vertices(graph: LabelledGraph, rng: random.Random) -> LabelledGraph:
+    """Return an isomorphic copy with permuted, offset vertex ids."""
+    vertices = list(graph.vertices())
+    shuffled = vertices[:]
+    rng.shuffle(shuffled)
+    # Map each vertex to its position in the shuffled order, offset so the
+    # new ids never overlap the old ones.
+    mapping = {old: shuffled.index(old) + 1000 for old in vertices}
+    clone = LabelledGraph()
+    for v in vertices:
+        clone.add_vertex(mapping[v], graph.label(v))
+    for u, v in graph.edges():
+        clone.add_edge(mapping[u], mapping[v])
+    return clone
+
+
+class TestCanonicalBasics:
+    def test_empty_graph(self):
+        assert canonical_form(LabelledGraph()) == (0, (), ())
+
+    def test_reversed_path_equal(self):
+        assert canonical_form(LabelledGraph.path("abc")) == canonical_form(
+            LabelledGraph.path("cba")
+        )
+
+    def test_different_labels_differ(self):
+        assert canonical_form(LabelledGraph.path("abc")) != canonical_form(
+            LabelledGraph.path("abd")
+        )
+
+    def test_path_vs_cycle_differ(self):
+        assert canonical_form(LabelledGraph.path("abca")) != canonical_form(
+            LabelledGraph.cycle("abca")
+        )
+
+    def test_star_vs_path_differ(self):
+        assert canonical_form(LabelledGraph.star("b", "aba")) != canonical_form(
+            LabelledGraph.path("abab")
+        )
+
+    def test_vertex_ids_irrelevant(self):
+        a = LabelledGraph.from_edges({1: "a", 2: "b"}, [(1, 2)])
+        b = LabelledGraph.from_edges({"x": "b", "y": "a"}, [("x", "y")])
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_form_is_hashable(self):
+        hash(canonical_form(LabelledGraph.cycle("abab")))
+
+    def test_highly_symmetric_cycle_ok(self):
+        # All-same-label 6-cycle: refinement cannot split it, but 6 vertices
+        # stay far below the ordering cap.
+        form1 = canonical_form(LabelledGraph.cycle("aaaaaa"))
+        form2 = canonical_form(LabelledGraph.cycle("aaaaaa", start_id=50))
+        assert form1 == form2
+
+
+@st.composite
+def small_labelled_graphs(draw):
+    """Random connected-ish labelled graphs with <= 6 vertices."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    labels = draw(
+        st.lists(st.sampled_from("abc"), min_size=n, max_size=n)
+    )
+    graph = LabelledGraph()
+    for v, label in enumerate(labels):
+        graph.add_vertex(v, label)
+    # Spanning chain keeps most graphs connected, then random extra edges.
+    for v in range(1, n):
+        graph.add_edge(v - 1, v)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    extra = draw(st.lists(st.sampled_from(possible), max_size=6)) if possible else []
+    for u, v in extra:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestCanonicalProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_labelled_graphs(), st.integers(min_value=0, max_value=2**16))
+    def test_isomorphic_copies_share_form(self, graph, seed):
+        copy = relabel_vertices(graph, random.Random(seed))
+        assert canonical_form(graph) == canonical_form(copy)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_labelled_graphs(), small_labelled_graphs())
+    def test_form_equality_implies_isomorphism(self, first, second):
+        if canonical_form(first) == canonical_form(second):
+            assert is_isomorphic(first, second)
+        else:
+            assert not is_isomorphic(first, second)

@@ -1,0 +1,74 @@
+"""Stateful property test for PartitionAssignment."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.exceptions import CapacityExceededError
+from repro.partitioning import PartitionAssignment
+
+K = 3
+CAPACITY = 4
+
+
+class AssignmentMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.assignment = PartitionAssignment(K, CAPACITY)
+        self.model: dict[int, int] = {}
+        self.next_id = 0
+
+    @precondition(lambda self: len(self.model) < K * CAPACITY)
+    @rule(data=st.data())
+    def assign_fresh(self, data):
+        feasible = self.assignment.feasible_partitions()
+        partition = data.draw(st.sampled_from(feasible))
+        vertex = self.next_id
+        self.next_id += 1
+        self.assignment.assign(vertex, partition)
+        self.model[vertex] = partition
+
+    @precondition(lambda self: bool(self.model))
+    @rule(data=st.data())
+    def move_existing(self, data):
+        vertex = data.draw(st.sampled_from(sorted(self.model)))
+        target = data.draw(st.integers(min_value=0, max_value=K - 1))
+        if (
+            target != self.model[vertex]
+            and self.assignment.size(target) >= CAPACITY
+        ):
+            try:
+                self.assignment.move(vertex, target)
+                raise AssertionError("move into a full partition succeeded")
+            except CapacityExceededError:
+                return
+        self.assignment.move(vertex, target)
+        self.model[vertex] = target
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def placements_match_model(self):
+        for vertex, partition in self.model.items():
+            assert self.assignment.partition_of(vertex) == partition
+
+    @invariant()
+    def sizes_consistent(self):
+        sizes = self.assignment.sizes()
+        assert sum(sizes) == len(self.model)
+        blocks = self.assignment.blocks()
+        assert [len(b) for b in blocks] == sizes
+
+    @invariant()
+    def capacity_respected(self):
+        assert all(size <= CAPACITY for size in self.assignment.sizes())
+
+
+TestAssignmentStateful = AssignmentMachine.TestCase
+TestAssignmentStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

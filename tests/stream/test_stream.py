@@ -1,0 +1,117 @@
+"""Tests for stream events, orderings and sources."""
+
+import random
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.graph import LabelledGraph
+from repro.graph.generators import erdos_renyi
+from repro.stream import (
+    EdgeArrival,
+    VertexArrival,
+    adversarial_order,
+    growth_stream,
+    ordered_vertices,
+    stream_from_graph,
+)
+from repro.stream.sources import replay, stream_edges, stream_vertices
+
+
+def sample_graph() -> LabelledGraph:
+    return erdos_renyi(30, 0.15, rng=random.Random(42))
+
+
+class TestOrderings:
+    @pytest.mark.parametrize(
+        "name", ["natural", "random", "bfs", "dfs", "adversarial"]
+    )
+    def test_every_ordering_is_a_permutation(self, name):
+        g = sample_graph()
+        order = ordered_vertices(g, name, random.Random(1))
+        assert sorted(order) == sorted(g.vertices())
+
+    def test_unknown_ordering_raises(self):
+        with pytest.raises(StreamError):
+            ordered_vertices(sample_graph(), "bogus")
+
+    def test_adversarial_prefix_is_independent_set(self):
+        g = sample_graph()
+        order = adversarial_order(g, random.Random(2))
+        # The first extracted independent set has no internal edges; find
+        # its size by scanning until the first vertex adjacent to the prefix.
+        prefix: set = set()
+        for vertex in order:
+            if g.neighbours(vertex) & prefix:
+                break
+            prefix.add(vertex)
+        assert len(prefix) >= 2
+        for u in prefix:
+            assert not (g.neighbours(u) & prefix)
+
+    def test_natural_matches_insertion(self):
+        g = LabelledGraph.from_edges({3: "a", 1: "b", 2: "c"})
+        assert ordered_vertices(g, "natural") == [3, 1, 2]
+
+
+class TestStreamFromGraph:
+    def test_replay_reconstructs_graph(self):
+        g = sample_graph()
+        events = stream_from_graph(g, ordering="random", rng=random.Random(3))
+        assert replay(events) == g
+
+    def test_edges_arrive_after_both_endpoints(self):
+        g = sample_graph()
+        events = stream_from_graph(g, ordering="bfs", rng=random.Random(4))
+        arrived: set = set()
+        for event in events:
+            if isinstance(event, VertexArrival):
+                arrived.add(event.vertex)
+            else:
+                assert event.u in arrived and event.v in arrived
+
+    def test_event_times_strictly_increase(self):
+        events = stream_from_graph(sample_graph(), ordering="random", rng=random.Random(5))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_event_counts(self):
+        g = sample_graph()
+        events = stream_from_graph(g, ordering="random", rng=random.Random(6))
+        vertex_events = [e for e in events if isinstance(e, VertexArrival)]
+        edge_events = list(stream_edges(events))
+        assert len(vertex_events) == g.num_vertices
+        assert len(edge_events) == g.num_edges
+
+    def test_bad_explicit_order_rejected(self):
+        g = LabelledGraph.path("ab")
+        with pytest.raises(StreamError):
+            stream_vertices(g, [0])  # missing vertex 1
+
+    def test_event_str_forms(self):
+        assert "+v" in str(VertexArrival(1, "a", 0))
+        assert "+e" in str(EdgeArrival(1, 2, 1))
+
+
+class TestGrowthStream:
+    def test_replay_is_valid_graph(self):
+        events = growth_stream(50, 2, rng=random.Random(7))
+        g = replay(events)
+        assert g.num_vertices == 50
+        assert g.num_edges == 3 + 47 * 2
+
+    def test_edges_respect_arrival(self):
+        events = growth_stream(30, 1, rng=random.Random(8))
+        arrived: set = set()
+        for event in events:
+            if isinstance(event, VertexArrival):
+                arrived.add(event.vertex)
+            else:
+                assert event.u in arrived and event.v in arrived
+
+    def test_bad_parameters(self):
+        with pytest.raises(StreamError):
+            growth_stream(2, 3, rng=random.Random(0))
+        with pytest.raises(StreamError):
+            growth_stream(10, 0, rng=random.Random(0))

@@ -1,0 +1,124 @@
+"""Tests for the sliding stream window."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.stream import SlidingWindow
+
+
+def filled_window(capacity=4):
+    window = SlidingWindow(capacity)
+    for v, label in enumerate("abcd"[:capacity]):
+        window.add_vertex(v, label)
+    return window
+
+
+class TestArrival:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StreamError):
+            SlidingWindow(0)
+
+    def test_add_vertex_buffers(self):
+        window = SlidingWindow(2)
+        window.add_vertex(1, "a")
+        assert 1 in window
+        assert len(window) == 1
+
+    def test_full_window_rejects_vertices(self):
+        window = filled_window(2)
+        with pytest.raises(StreamError):
+            window.add_vertex(99, "z")
+
+    def test_duplicate_vertex_rejected(self):
+        window = SlidingWindow(3)
+        window.add_vertex(1, "a")
+        with pytest.raises(StreamError):
+            window.add_vertex(1, "a")
+
+    def test_internal_edge(self):
+        window = filled_window()
+        assert window.add_edge(0, 1) == "internal"
+        assert window.graph.has_edge(0, 1)
+
+    def test_external_edge(self):
+        window = filled_window(2)
+        departed = window.evict_oldest()
+        assert window.add_edge(departed.vertex, 1) == "external"
+        assert departed.vertex in window.external_neighbours(1)
+
+    def test_departed_edge(self):
+        window = filled_window(2)
+        a = window.evict_oldest()
+        b = window.evict_oldest()
+        assert window.add_edge(a.vertex, b.vertex) == "departed"
+
+
+class TestDeparture:
+    def test_oldest_is_fifo(self):
+        window = filled_window()
+        assert window.oldest() == 0
+
+    def test_evict_oldest_returns_context(self):
+        window = filled_window()
+        window.add_edge(0, 1)
+        departed = window.evict_oldest()
+        assert departed.vertex == 0
+        assert departed.label == "a"
+        assert departed.external_neighbours == frozenset()
+
+    def test_departing_vertex_becomes_external_for_neighbours(self):
+        window = filled_window()
+        window.add_edge(0, 1)
+        window.evict_oldest()
+        assert 0 in window.external_neighbours(1)
+
+    def test_external_neighbours_accumulate(self):
+        window = filled_window()
+        window.add_edge(0, 3)
+        window.add_edge(1, 3)
+        window.evict_oldest()  # 0
+        window.evict_oldest()  # 1
+        assert window.external_neighbours(3) == frozenset({0, 1})
+
+    def test_remove_arbitrary_vertex(self):
+        window = filled_window()
+        window.add_edge(1, 2)
+        departed = window.remove(2)
+        assert departed.vertex == 2
+        assert 2 not in window
+        assert 2 in window.external_neighbours(1)
+
+    def test_remove_missing_raises(self):
+        window = filled_window()
+        with pytest.raises(StreamError):
+            window.remove(99)
+
+    def test_oldest_on_empty_raises(self):
+        window = SlidingWindow(2)
+        with pytest.raises(StreamError):
+            window.oldest()
+
+    def test_drain_empties_fifo(self):
+        window = filled_window(3)
+        order = [wv.vertex for wv in window.drain()]
+        assert order == [0, 1, 2]
+        assert len(window) == 0
+
+    def test_eviction_frees_capacity(self):
+        window = filled_window(2)
+        window.evict_oldest()
+        window.add_vertex(50, "z")
+        assert 50 in window
+
+    def test_departed_external_context_preserved(self):
+        # 0 leaves; later 1 leaves and must report 0 as external neighbour
+        # even though the edge arrived while both were buffered.
+        window = filled_window(2)
+        window.add_edge(0, 1)
+        window.evict_oldest()
+        departed = window.evict_oldest()
+        assert departed.external_neighbours == frozenset({0})
+
+    def test_arrival_order_snapshot(self):
+        window = filled_window(3)
+        assert window.arrival_order() == [0, 1, 2]

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import save_edge_list
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("E1", "E10", "A4"):
+            assert eid in out
+
+
+class TestDemo:
+    def test_demo_shows_square_colocation(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "loom" in out
+        assert "q1-square-colocated=yes" in out
+
+
+class TestExperiment:
+    def test_single_experiment_prints_table(self, capsys):
+        assert main(["experiment", "E7", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "E7a" in out
+        assert "collision" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(
+            ["experiment", "A2", "--fast", "--out", str(tmp_path)]
+        ) == 0
+        csvs = list(tmp_path.glob("a2_*.csv"))
+        assert csvs
+        assert "group_matches" in csvs[0].read_text()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "E99", "--fast"])
+
+
+class TestPartition:
+    def test_partition_edge_list_file(self, tmp_path, capsys):
+        graph = erdos_renyi(40, 0.15, rng=random.Random(3))
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        assert main(
+            ["partition", "--graph", str(path), "--method", "ldg", "-k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cut_fraction=" in out
+        assert "sizes=" in out
+
+    def test_partition_with_loom_samples_workload(self, tmp_path, capsys):
+        graph = erdos_renyi(40, 0.15, rng=random.Random(4))
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        assert main(
+            [
+                "partition", "--graph", str(path), "--method", "loom",
+                "-k", "2", "--window", "16", "--queries", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p_remote=" in out

@@ -1,0 +1,74 @@
+"""Tests for the original path-only TPSTry (ablation baseline)."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph import LabelledGraph
+from repro.tpstry import PathTPSTry
+from repro.workload import PatternQuery, Workload, figure1_workload
+
+
+class TestPathTrie:
+    def test_registers_paths_of_path_query(self):
+        trie = PathTPSTry.from_workload(
+            Workload([PatternQuery("q", LabelledGraph.path("abc"))])
+        )
+        assert ("a", "b") in trie
+        assert ("a", "b", "c") in trie
+
+    def test_direction_canonicalised(self):
+        trie = PathTPSTry.from_workload(
+            Workload([PatternQuery("q", LabelledGraph.path("abc"))])
+        )
+        assert ("c", "b", "a") in trie  # reversed lookup canonicalises
+
+    def test_p_values(self):
+        trie = PathTPSTry.from_workload(figure1_workload())
+        assert trie.p_value(("a", "b")) == pytest.approx(1.0)
+        assert trie.p_value(("a", "b", "c", "d")) == pytest.approx(1 / 3)
+
+    def test_frequent_paths_sorted_longest_first(self):
+        trie = PathTPSTry.from_workload(figure1_workload())
+        frequent = trie.frequent_paths(0.3)
+        lengths = [len(p) for p in frequent]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_cycle_motif_invisible_to_path_trie(self):
+        """The decisive limitation: q1's square is not representable.
+
+        Every path through the square is at most 4 vertices (a-b-a-b); the
+        closed cycle itself has no path encoding, so the trie's best motif
+        for q1 underestimates the traversal structure.
+        """
+        square_only = Workload([PatternQuery("q1", LabelledGraph.cycle("abab"))])
+        trie = PathTPSTry.from_workload(square_only)
+        for key in trie.paths():
+            graph = LabelledGraph.path(key)
+            assert graph.num_edges < 4  # never the 4-edge cycle
+
+    def test_frequent_motifs_returns_graphs(self):
+        trie = PathTPSTry.from_workload(figure1_workload())
+        motifs = trie.frequent_motifs(0.9)
+        assert motifs
+        for motif in motifs:
+            assert motif.num_edges >= 1
+
+    def test_max_length_respected(self):
+        long_path = PatternQuery("long", LabelledGraph.path("ababab"))
+        trie = PathTPSTry(max_length=3)
+        trie.add_query(long_path)
+        assert all(len(key) <= 3 for key in trie.paths())
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            PathTPSTry(max_length=0)
+        trie = PathTPSTry.from_workload(figure1_workload())
+        with pytest.raises(WorkloadError):
+            trie.frequent_paths(0.0)
+
+    def test_support_counted_once_per_query(self):
+        # The path a-b occurs multiple times inside abab but counts once.
+        trie = PathTPSTry.from_workload(
+            Workload([PatternQuery("q", LabelledGraph.path("abab"))])
+        )
+        assert trie.p_value(("a", "b")) == pytest.approx(1.0)
