@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Run the whole benchmark suite and emit machine-readable wall-times.
+
+Equivalent to ``loom-repro bench``.  Times every experiment the
+``bench_*`` pytest files wrap (fast mode by default, like the pytest
+suite) plus the engine hot-path microbenchmark, then writes
+``BENCH_PR1.json``::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR1.json]
+                                                [--seed 0] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.runner import run_bench_suite, write_bench_json  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full experiment grids (slow) instead of fast mode",
+    )
+    parser.add_argument(
+        "--no-hotpath", action="store_true",
+        help="skip the engine hot-path microbenchmark",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench_suite(
+        seed=args.seed, fast=not args.full, hotpath=not args.no_hotpath
+    )
+    target = write_bench_json(args.out, payload)
+    total = sum(e["seconds"] for e in payload["experiments"].values())
+    print(f"{len(payload['experiments'])} experiments in {total:.1f}s")
+    if "hotpath" in payload:
+        hp = payload["hotpath"]
+        print(
+            "hotpath speedups: "
+            f"ldg={hp['ldg_speedup']}x loom={hp['loom_speedup']}x "
+            f"executor={hp['executor_speedup']}x"
+        )
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ Package map (one sub-package per subsystem; see DESIGN.md):
 ``repro.workload``      pattern queries and workload generators
 ``repro.tpstry``        TPSTry++ DAG (and the path-only ablation)
 ``repro.partitioning``  hash/S&K/Fennel/offline baselines + metrics
+``repro.engine``        partitioner registry + batched streaming engine
 ``repro.core``          the LOOM partitioner itself
 ``repro.cluster``       simulated distributed store + instrumented executor
 ``repro.replication``   workload-aware hotspot replication (section 3.2)
@@ -61,6 +62,11 @@ from repro.partitioning import (
     normalised_max_load,
     partition_graph,
     partition_stream,
+)
+from repro.engine import (
+    PartitionerRegistry,
+    StreamingEngine,
+    default_registry,
 )
 from repro.core import LoomConfig, LoomPartitioner, TraversalAwareLDG
 from repro.cluster import (
@@ -94,6 +100,9 @@ __all__ = [
     "normalised_max_load",
     "partition_graph",
     "partition_stream",
+    "PartitionerRegistry",
+    "StreamingEngine",
+    "default_registry",
     "LoomConfig",
     "LoomPartitioner",
     "TraversalAwareLDG",

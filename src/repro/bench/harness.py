@@ -1,48 +1,44 @@
-"""Shared experiment machinery: method registry and evaluation.
+"""Shared experiment machinery: registry-backed dispatch and evaluation.
 
-``partition_with`` runs any named method over a (graph, stream) pair under
-one uniform contract, so every experiment compares like with like:
-identical streams, identical capacities, identical evaluation.
+``partition_with`` runs any registered method over a (graph, stream) pair
+under one uniform contract, so every experiment compares like with like:
+identical streams, identical capacities, identical evaluation.  Methods
+are resolved exclusively through the
+:class:`~repro.engine.registry.PartitionerRegistry` -- the harness holds
+no name->class tables of its own -- and streaming methods are driven by
+the shared :class:`~repro.engine.pipeline.StreamingEngine`, which is also
+where throughput numbers (experiment E9) come from.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster import DistributedGraphStore, LatencyModel, run_workload
-from repro.core import LoomConfig, LoomPartitioner
-from repro.graph.labelled import LabelledGraph
-from repro.partitioning import (
-    BalancedPartitioner,
-    ChunkingPartitioner,
-    DeterministicGreedy,
-    ExponentialDeterministicGreedy,
-    FennelPartitioner,
-    HashPartitioner,
-    LinearDeterministicGreedy,
-    RandomPartitioner,
-    edge_cut_fraction,
-    multilevel_partition,
-    normalised_max_load,
-    partition_stream,
+from repro.engine.pipeline import (
+    DEFAULT_BATCH_SIZE,
+    EngineStats,
+    StatsHook,
+    StreamingEngine,
+    as_stream_partitioner,
 )
-from repro.partitioning.base import PartitionAssignment, default_capacity
+from repro.engine.registry import OFFLINE, STREAMING, PartitionRequest, default_registry
+from repro.graph.labelled import LabelledGraph
+from repro.partitioning import edge_cut_fraction, normalised_max_load
+from repro.partitioning.base import PartitionAssignment
 from repro.stream.events import StreamEvent
 from repro.workload.workloads import Workload
 
-#: Streaming vertex-at-a-time baselines available to every experiment.
-STREAMING_METHODS = {
-    "hash": HashPartitioner,
-    "random": RandomPartitioner,
-    "balanced": BalancedPartitioner,
-    "chunking": ChunkingPartitioner,
-    "greedy": DeterministicGreedy,
-    "ldg": LinearDeterministicGreedy,
-    "edg": ExponentialDeterministicGreedy,
-    "fennel": FennelPartitioner,
-}
+#: Streaming vertex-at-a-time baselines available to every experiment:
+#: a registry-derived name -> :class:`PartitionerSpec` snapshot (methods
+#: that stream and need no workload).  Note the values are specs, not the
+#: partitioner classes the pre-registry dict held -- build instances via
+#: ``spec.build(request)`` or just call :func:`partition_with` by name.
+STREAMING_METHODS = default_registry.mapping(
+    kind=STREAMING, needs_workload=False
+)
 
 #: The default method line-up for quality tables.
 DEFAULT_LINEUP = ("hash", "ldg", "fennel", "offline", "loom")
@@ -55,12 +51,21 @@ class MethodResult:
     method: str
     assignment: PartitionAssignment
     seconds: float
+    engine_stats: EngineStats | None = field(default=None, compare=False)
 
     def cut_fraction(self, graph: LabelledGraph) -> float:
         return edge_cut_fraction(graph, self.assignment)
 
     def max_load(self) -> float:
         return normalised_max_load(self.assignment)
+
+    def vertices_per_second(self) -> float:
+        """Engine-level throughput when available, wall-clock otherwise."""
+        if self.engine_stats is not None and self.engine_stats.seconds > 0:
+            return self.engine_stats.vertices_per_second
+        if self.seconds > 0:
+            return self.assignment.num_assigned / self.seconds
+        return 0.0
 
 
 def partition_with(
@@ -75,58 +80,51 @@ def partition_with(
     window_size: int = 128,
     motif_threshold: float = 0.2,
     seed: int = 0,
-    **loom_overrides,
+    rng: random.Random | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    stats_hooks: tuple[StatsHook, ...] = (),
+    **method_overrides,
 ) -> MethodResult:
     """Partition ``graph`` (already serialised as ``events``) with ``method``.
 
-    ``offline`` sees the whole graph (its defining advantage); every other
-    method consumes the stream.  ``loom``/``loom_ta`` need ``workload``.
+    Offline methods see the whole graph (their defining advantage); every
+    streaming method consumes the stream through the engine, in batches of
+    ``batch_size`` events, with ``stats_hooks`` observing each batch.
+    Workload-needing methods (``loom``/``loom_ta``/``ta-ldg``/
+    ``offline_wa``) raise ``ValueError`` without a ``workload``.  All
+    randomness flows from the injected ``rng`` (or a ``random.Random``
+    seeded with ``seed``), never from the module-global generator.
     """
-    cap = capacity or default_capacity(graph.num_vertices, k, slack)
+    spec = default_registry.resolve(method)
+    request = PartitionRequest(
+        graph=graph,
+        events=events,
+        k=k,
+        capacity=capacity,
+        slack=slack,
+        workload=workload,
+        window_size=window_size,
+        motif_threshold=motif_threshold,
+        seed=seed,
+        rng=rng,
+        options=method_overrides,
+    )
+    spec.check_request(request)
     start = time.perf_counter()
-    if method == "offline":
-        assignment = multilevel_partition(
-            graph, k, slack=slack, rng=random.Random(seed)
-        )
-    elif method == "offline_wa":
-        if workload is None:
-            raise ValueError("method 'offline_wa' needs a workload")
-        from repro.partitioning.workload_offline import (
-            workload_aware_multilevel,
-        )
-
-        assignment = workload_aware_multilevel(
-            graph, workload, k, slack=slack, rng=random.Random(seed)
-        )
-    elif method in ("loom", "loom_ta"):
-        if workload is None:
-            raise ValueError(f"method {method!r} needs a workload")
-        config = LoomConfig(
-            k=k,
-            capacity=cap,
-            window_size=window_size,
-            motif_threshold=motif_threshold,
-            traversal_aware_singles=(method == "loom_ta"),
-            **loom_overrides,
-        )
-        assignment = LoomPartitioner(workload, config).partition_stream(events)
-    elif method in STREAMING_METHODS:
-        factory = STREAMING_METHODS[method]
-        if method == "fennel":
-            partitioner = factory(
-                expected_vertices=graph.num_vertices,
-                expected_edges=graph.num_edges,
-                balance_slack=slack,
-            )
-        elif method == "random":
-            partitioner = factory(random.Random(seed))
-        else:
-            partitioner = factory()
-        assignment = partition_stream(partitioner, events, k=k, capacity=cap)
+    if spec.kind == OFFLINE:
+        assignment = spec.build(request)
+        engine_stats = None
     else:
-        raise ValueError(f"unknown method {method!r}")
+        partitioner = as_stream_partitioner(
+            spec.build(request), k=k, capacity=request.resolved_capacity()
+        )
+        engine = StreamingEngine(
+            partitioner, batch_size=batch_size, hooks=stats_hooks
+        )
+        assignment = engine.run(events)
+        engine_stats = engine.stats
     seconds = time.perf_counter() - start
-    return MethodResult(method, assignment, seconds)
+    return MethodResult(method, assignment, seconds, engine_stats)
 
 
 @dataclass
@@ -148,12 +146,17 @@ def evaluate_assignment(
     *,
     executions: int = 120,
     seed: int = 99,
+    rng: random.Random | None = None,
     latency: LatencyModel | None = None,
 ) -> AssignmentEvaluation:
-    """Run the sampled query stream against the partitioned store."""
+    """Run the sampled query stream against the partitioned store.
+
+    The query sampler draws from ``rng`` when given, else from a fresh
+    ``random.Random(seed)`` -- reproducible by construction either way.
+    """
     store = DistributedGraphStore(graph, result.assignment)
     stats = run_workload(
-        store, workload, executions=executions, rng=random.Random(seed)
+        store, workload, executions=executions, rng=rng or random.Random(seed)
     )
     model = latency or LatencyModel()
     return AssignmentEvaluation(

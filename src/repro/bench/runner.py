@@ -1,0 +1,68 @@
+"""Machine-readable benchmark runner (the perf trajectory's data source).
+
+``run_bench_suite`` executes every experiment of the ``bench_*`` suite
+(each benchmark file times one experiment in ``fast`` mode) plus the
+engine hot-path microbenchmark, and returns one JSON-serialisable payload
+with per-benchmark wall-times.  ``benchmarks/run_all.py`` and the CLI
+``bench`` subcommand both write it to ``BENCH_PR1.json`` so successive
+PRs can diff like-for-like numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.hotpath import run_hotpath_benchmark
+
+SCHEMA = "loom-repro/bench/v1"
+
+
+def run_bench_suite(
+    *,
+    seed: int = 0,
+    fast: bool = True,
+    experiments: tuple[str, ...] | None = None,
+    hotpath: bool = True,
+    hotpath_repeats: int = 3,
+) -> dict[str, Any]:
+    """Time every experiment (and the hot-path microbenchmark) once.
+
+    Experiment tables are rendered but discarded -- this runner's product
+    is the timing payload, not the tables (use ``loom-repro experiment``
+    for those).
+    """
+    ids = experiments or tuple(EXPERIMENTS)
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "seed": seed,
+        "fast": fast,
+        "experiments": {},
+    }
+    for experiment_id in ids:
+        start = time.perf_counter()
+        tables = run_experiment(experiment_id, seed=seed, fast=fast)
+        elapsed = time.perf_counter() - start
+        payload["experiments"][experiment_id] = {
+            "title": EXPERIMENTS[experiment_id].title,
+            "seconds": round(elapsed, 4),
+            "tables": len(tables),
+        }
+    if hotpath:
+        result = run_hotpath_benchmark(seed=seed, repeats=hotpath_repeats)
+        payload["hotpath"] = result.as_dict()
+    return payload
+
+
+def write_bench_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write ``payload`` as pretty-printed JSON and return the path."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

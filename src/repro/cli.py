@@ -3,12 +3,18 @@
 ::
 
     loom-repro list                      # available experiments
+    loom-repro methods                   # registered partitioners
     loom-repro experiment E2 A1          # run experiments, print tables
     loom-repro experiment all --out results/
     loom-repro demo                      # figure-1 walkthrough
     loom-repro partition --graph g.txt --method loom -k 4 ...
+    loom-repro bench --out BENCH_PR1.json
 
 (Equivalently ``python -m repro.cli ...``.)
+
+Partitioner names are resolved exclusively through the
+:class:`~repro.engine.registry.PartitionerRegistry`; the CLI holds no
+method tables of its own.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from pathlib import Path
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.harness import partition_with
 from repro.cluster import DistributedGraphStore, run_workload
+from repro.engine.registry import default_registry
 from repro.graph.io import load_edge_list
 from repro.partitioning import edge_cut_fraction, normalised_max_load
 from repro.stream.sources import stream_from_graph
@@ -31,6 +38,14 @@ from repro.workload.workloads import workload_from_graph
 def _cmd_list(_args: argparse.Namespace) -> int:
     for experiment in EXPERIMENTS.values():
         print(f"{experiment.id:4s} {experiment.title}")
+    return 0
+
+
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    """Uniform method discovery straight off the registry."""
+    for spec in sorted(default_registry.specs(), key=lambda s: s.name):
+        needs = "workload" if spec.needs_workload else "-"
+        print(f"{spec.name:12s} {spec.kind:9s} {needs:8s} {spec.description}")
     return 0
 
 
@@ -82,7 +97,8 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 def _cmd_partition(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.graph)
     rng = random.Random(args.seed)
-    if args.method in ("loom", "loom_ta"):
+    spec = default_registry.resolve(args.method)
+    if spec.needs_workload:
         workload = workload_from_graph(
             graph, count=args.queries, rng=random.Random(args.seed + 1)
         )
@@ -97,6 +113,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     print(f"cut_fraction={edge_cut_fraction(graph, result.assignment):.4f}")
     print(f"max_load={normalised_max_load(result.assignment):.4f}")
     print(f"sizes={result.assignment.sizes()}")
+    if result.engine_stats is not None:
+        print(f"throughput={result.vertices_per_second():.0f} vertices/s")
     if workload is not None:
         store = DistributedGraphStore(graph, result.assignment)
         stats = run_workload(
@@ -104,6 +122,19 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             rng=random.Random(args.seed + 2),
         )
         print(f"p_remote={stats.remote_probability:.4f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_bench_suite, write_bench_json
+
+    payload = run_bench_suite(
+        seed=args.seed, fast=not args.full, hotpath=not args.no_hotpath
+    )
+    target = write_bench_json(args.out, payload)
+    total = sum(e["seconds"] for e in payload["experiments"].values())
+    print(f"{len(payload['experiments'])} experiments in {total:.1f}s")
+    print(f"wrote {target}")
     return 0
 
 
@@ -116,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+    sub.add_parser(
+        "methods", help="list registered partitioners and capabilities"
+    ).set_defaults(fn=_cmd_methods)
 
     exp = sub.add_parser("experiment", help="run experiments and print tables")
     exp.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
@@ -128,15 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     part = sub.add_parser("partition", help="partition an edge-list file")
     part.add_argument("--graph", required=True, help="labelled edge-list file")
-    part.add_argument("--method", default="loom",
-                      help="hash|ldg|fennel|offline|loom|loom_ta|...")
+    part.add_argument(
+        "--method",
+        default="loom",
+        help="any registered method (see 'loom-repro methods')",
+    )
     part.add_argument("-k", type=int, default=4)
     part.add_argument("--ordering", default="random")
     part.add_argument("--window", type=int, default=128)
     part.add_argument("--queries", type=int, default=4,
-                      help="queries sampled from the graph for loom")
+                      help="queries sampled from the graph for workload-aware methods")
     part.add_argument("--seed", type=int, default=0)
     part.set_defaults(fn=_cmd_partition)
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite, write machine-readable JSON"
+    )
+    bench.add_argument("--out", default="BENCH_PR1.json")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--full", action="store_true", help="full grids (slow)")
+    bench.add_argument("--no-hotpath", action="store_true",
+                       help="skip the engine hot-path microbenchmark")
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -142,7 +142,7 @@ class DistributedQueryExecutor:
             # label/degree, whether or not it ends up matching).
             anchor_image = mapping[anchors[0]]
             pool = []
-            for w in sorted(store.neighbours(anchor_image), key=repr):
+            for w in store.sorted_neighbours(anchor_image):
                 ledger.record(
                     store.is_remote(anchor_image, w),
                     edge=edge_key(anchor_image, w),
@@ -233,7 +233,7 @@ def run_workload(
     workload: Workload,
     *,
     executions: int = 200,
-    rng: random.Random,
+    rng: random.Random | int,
     track_edges: bool = False,
 ) -> WorkloadStats:
     """Sample ``executions`` queries by frequency and execute them all.
@@ -243,7 +243,14 @@ def run_workload(
     partition boundaries.  ``track_edges=True`` additionally aggregates
     per-edge traversal counts into the returned stats' ledger (workload
     profiling).
+
+    ``rng`` is the query sampler's randomness, injected explicitly --
+    either a ``random.Random`` instance or a bare seed -- so the module
+    global generator is never touched and runs are reproducible by
+    construction.
     """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
     executor = DistributedQueryExecutor(store, track_edges=track_edges)
     stats = WorkloadStats()
     stats.ledger.track_edges = track_edges

@@ -36,10 +36,7 @@ class DistributedGraphStore:
                 )
         self.graph = graph
         self.assignment = assignment
-        self._label_index: dict[Label, list[Vertex]] = {}
         self._replicas: dict[Vertex, set[int]] = {}
-        for vertex in graph.vertices():
-            self._label_index.setdefault(graph.label(vertex), []).append(vertex)
 
     # ------------------------------------------------------------------
     @property
@@ -58,9 +55,18 @@ class DistributedGraphStore:
     def neighbours(self, vertex: Vertex) -> frozenset[Vertex]:
         return self.graph.neighbours(vertex)
 
+    def sorted_neighbours(self, vertex: Vertex) -> tuple[Vertex, ...]:
+        """Neighbours in the executor's deterministic expansion order
+        (cached by the graph's indexed adjacency core)."""
+        return self.graph.sorted_neighbours(vertex)
+
     def vertices_with_label(self, label: Label) -> list[Vertex]:
-        """Label-index lookup (does not count as an edge traversal)."""
-        return list(self._label_index.get(label, ()))
+        """Label-index lookup (does not count as an edge traversal).
+
+        Delegates to the graph's incrementally maintained label index --
+        one shared index instead of a per-store rebuild.
+        """
+        return self.graph.vertices_with_label(label)
 
     def is_remote(self, u: Vertex, v: Vertex) -> bool:
         """True when the hop ``u -> v`` leaves ``u``'s partition.

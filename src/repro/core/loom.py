@@ -25,7 +25,13 @@ from collections.abc import Sequence
 from repro.core.config import LoomConfig
 from repro.core.matcher import StreamMotifMatcher
 from repro.core.traversal_aware import TraversalAwareLDG
-from repro.graph.labelled import Vertex
+from repro.engine.pipeline import StreamingEngine
+from repro.engine.registry import (
+    STREAMING,
+    PartitionRequest,
+    default_registry,
+)
+from repro.graph.labelled import LabelledGraph, Vertex
 from repro.partitioning.base import PartitionAssignment
 from repro.partitioning.streaming import (
     LinearDeterministicGreedy,
@@ -49,13 +55,27 @@ class LoomPartitioner:
         config: LoomConfig,
         *,
         scheme: SignatureScheme | None = None,
+        window_graph_factory: type[LabelledGraph] = LabelledGraph,
+        assignment_index: bool = False,
     ) -> None:
         self.config = config
         self.workload = workload
+        #: Maintain the assignment's neighbour index incrementally instead
+        #: of scanning external-neighbour sets at assignment time.  On
+        #: streams honouring the event contract (an edge arrives after
+        #: both endpoints, see :mod:`repro.stream.events`) assignments are
+        #: identical either way; profitable only when group assignment
+        #: re-reads count vectors often (the per-edge upkeep outweighs the
+        #: single placement-time scan on typical windows, which is why the
+        #: plain vertex-stream engine path uses the index but LOOM
+        #: defaults to off).
+        self.assignment_index = assignment_index
         self.trie = TPSTryPP.from_workload(
             workload, scheme=scheme, authoritative=config.authoritative_motifs
         )
-        self.window = SlidingWindow(config.window_size)
+        self.window = SlidingWindow(
+            config.window_size, graph_factory=window_graph_factory
+        )
         self.matcher = StreamMotifMatcher(
             self.trie,
             self.window.graph,
@@ -73,17 +93,35 @@ class LoomPartitioner:
         #: Diagnostics surfaced by the ablation benches.
         self.stats = {"groups": 0, "group_vertices": 0, "singles": 0, "split_groups": 0}
 
+    @classmethod
+    def from_request(
+        cls, request: PartitionRequest, *, traversal_aware: bool = False
+    ) -> "LoomPartitioner":
+        """Registry builder: assemble the LOOM config from a request."""
+        config = LoomConfig(
+            k=request.k,
+            capacity=request.resolved_capacity(),
+            window_size=request.window_size,
+            motif_threshold=request.motif_threshold,
+            traversal_aware_singles=traversal_aware,
+            **request.options,
+        )
+        return cls(request.workload, config)
+
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
     def partition_stream(
         self, events: Sequence[StreamEvent]
     ) -> PartitionAssignment:
-        """Consume a whole stream and return the finished assignment."""
-        for event in events:
-            self.process(event)
-        self.flush()
-        return self.assignment
+        """Consume a whole stream and return the finished assignment.
+
+        Thin adapter over the shared engine: LOOM conforms to the
+        :class:`~repro.engine.pipeline.StreamPartitioner` protocol
+        (``process``/``flush``/``assignment``) and lets
+        :class:`~repro.engine.pipeline.StreamingEngine` drive the batches.
+        """
+        return StreamingEngine(self).run(events)
 
     def process(self, event: StreamEvent) -> None:
         """Feed one stream event."""
@@ -94,9 +132,26 @@ class LoomPartitioner:
             if isinstance(self._single_placer, TraversalAwareLDG):
                 self._single_placer.record_label(event.vertex, event.label)
         elif isinstance(event, EdgeArrival):
-            landed = self.window.add_edge(event.u, event.v)
+            u, v = event.u, event.v
+            new_external: tuple[Vertex, Vertex] | None = None
+            if self.assignment_index:
+                # Determine *before* the add whether this is a genuinely
+                # new external neighbour: the window's external sets
+                # deduplicate, and the index must mirror that exactly.
+                u_buffered = u in self.window
+                v_buffered = v in self.window
+                if u_buffered and not v_buffered:
+                    if not self.window.has_external(u, v):
+                        new_external = (u, v)
+                elif v_buffered and not u_buffered:
+                    if not self.window.has_external(v, u):
+                        new_external = (v, u)
+            landed = self.window.add_edge(u, v)
             if landed == "internal":
-                self.matcher.on_edge(event.u, event.v)
+                self.matcher.on_edge(u, v)
+            elif landed == "external" and new_external is not None:
+                # The buffered endpoint gained an already-placed neighbour.
+                self.assignment.note_edge(*new_external)
 
     def flush(self) -> None:
         """Assign everything still buffered (end of stream)."""
@@ -122,13 +177,25 @@ class LoomPartitioner:
     def _assign_group(self, group: frozenset[Vertex]) -> None:
         """Place a whole motif-match group in one partition (sub-graph LDG)."""
         external_counts: dict[int, int] = {}
-        for vertex in group:
-            for neighbour in self.window.external_neighbours(vertex):
-                partition = self.assignment.partition_of(neighbour)
-                if partition is not None:
-                    external_counts[partition] = (
-                        external_counts.get(partition, 0) + 1
-                    )
+        if self.assignment_index:
+            # Sum the incrementally maintained per-vertex count vectors.
+            for vertex in group:
+                counts = self.assignment.cached_neighbour_counts(vertex)
+                if not counts:
+                    continue
+                for partition, count in enumerate(counts):
+                    if count:
+                        external_counts[partition] = (
+                            external_counts.get(partition, 0) + count
+                        )
+        else:
+            for vertex in group:
+                for neighbour in self.window.external_neighbours(vertex):
+                    partition = self.assignment.partition_of(neighbour)
+                    if partition is not None:
+                        external_counts[partition] = (
+                            external_counts.get(partition, 0) + 1
+                        )
         ordered = [v for v in self.window.arrival_order() if v in group]
         try:
             target = choose_partition_for_group(
@@ -149,8 +216,11 @@ class LoomPartitioner:
                     self._assign_single(vertex)
             return
         for vertex in ordered:
-            self.window.remove(vertex)
+            departed = self.window.remove(vertex)
             self.assignment.assign(vertex, target)
+            if self.assignment_index:
+                for neighbour in departed.internal_neighbours:
+                    self.assignment.note_edge(neighbour, vertex)
         self.matcher.forget(group)
         self.stats["groups"] += 1
         self.stats["group_vertices"] += len(group)
@@ -198,5 +268,30 @@ class LoomPartitioner:
             self.assignment,
         )
         self.assignment.assign(departed.vertex, target)
+        if self.assignment_index:
+            # Buffered neighbours of the now-placed vertex gained a placed
+            # neighbour; keep their index vectors current.
+            for neighbour in departed.internal_neighbours:
+                self.assignment.note_edge(neighbour, vertex)
         self.matcher.forget({vertex})
         self.stats["singles"] += 1
+
+
+default_registry.add(
+    "loom",
+    kind=STREAMING,
+    build=LoomPartitioner.from_request,
+    needs_workload=True,
+    description="LOOM: workload-aware streaming partitioner over a sliding "
+    "window (paper section 4)",
+)
+default_registry.add(
+    "loom_ta",
+    kind=STREAMING,
+    build=lambda request: LoomPartitioner.from_request(
+        request, traversal_aware=True
+    ),
+    needs_workload=True,
+    description="LOOM with traversal-aware single-vertex placement "
+    "(section-5 extension)",
+)

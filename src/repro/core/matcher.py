@@ -219,7 +219,7 @@ class StreamMotifMatcher:
     ) -> list[Edge]:
         incident: list[Edge] = []
         for vertex in sorted(vertices, key=repr):
-            for neighbour in sorted(self.graph.neighbours(vertex), key=repr):
+            for neighbour in self.graph.sorted_neighbours(vertex):
                 e = edge_key(vertex, neighbour)
                 if e not in excluded:
                     incident.append(e)

@@ -1,0 +1,251 @@
+"""The batched streaming pipeline driving any registered partitioner.
+
+The paper's pipeline -- window -> motif matcher -> (group) LDG -- used to
+be hard-wired inside ``LoomPartitioner.partition_stream``, with every
+baseline driven by its own ad-hoc loop and every benchmark timing events
+by hand.  :class:`StreamingEngine` extracts that loop: it drives anything
+satisfying the :class:`StreamPartitioner` protocol over an event stream in
+configurable batches, measures per-batch statistics (throughput, window
+occupancy, group/single placement counts) and feeds them to registered
+hooks, so E9-style throughput measurement is engine-level rather than
+re-implemented per benchmark.
+
+Batching never changes semantics: events inside a batch are processed in
+stream order, one at a time, exactly as the per-event loops did (the
+engine equivalence tests pin this down).  What batching buys is a single
+place to amortise stats collection, future lock acquisition and -- for the
+sharded/async executors the ROADMAP plans -- cross-shard dispatch.
+
+:class:`VertexStreamAdapter` lifts the classic one-pass vertex
+partitioners (Stanton & Kliot, Fennel, hash/random) into the protocol,
+reproducing the historical ``partition_stream`` contract: a vertex is
+placed when the *next* vertex arrives (or at flush), seeing exactly the
+edges that arrived with it.  While a vertex is pending, the adapter feeds
+the assignment's neighbour index (:meth:`PartitionAssignment.note_edge`)
+so LDG-family scoring reads cached neighbour-partition counts instead of
+re-scanning neighbour lists.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.graph.labelled import Label, Vertex
+from repro.partitioning.base import (
+    PartitionAssignment,
+    StreamingVertexPartitioner,
+)
+from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
+
+DEFAULT_BATCH_SIZE = 256
+
+
+@runtime_checkable
+class StreamPartitioner(Protocol):
+    """What the engine drives: per-event processing plus a final flush."""
+
+    assignment: PartitionAssignment
+
+    def process(self, event: StreamEvent) -> None: ...
+
+    def flush(self) -> None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class BatchStats:
+    """Statistics of one processed batch, handed to every stats hook."""
+
+    index: int
+    events: int
+    vertices: int
+    edges: int
+    seconds: float
+    assigned_total: int
+    window_occupancy: int | None = None
+    groups_total: int | None = None
+    singles_total: int | None = None
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class EngineStats:
+    """Aggregate statistics over one engine run."""
+
+    batches: int = 0
+    events: int = 0
+    vertices: int = 0
+    edges: int = 0
+    seconds: float = 0.0
+    batch_size: int = DEFAULT_BATCH_SIZE
+    peak_window_occupancy: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def vertices_per_second(self) -> float:
+        return self.vertices / self.seconds if self.seconds > 0 else 0.0
+
+    def observe(self, batch: BatchStats) -> None:
+        self.batches += 1
+        self.events += batch.events
+        self.vertices += batch.vertices
+        self.edges += batch.edges
+        self.seconds += batch.seconds
+        if batch.window_occupancy is not None:
+            self.peak_window_occupancy = max(
+                self.peak_window_occupancy, batch.window_occupancy
+            )
+
+
+StatsHook = Callable[[BatchStats], None]
+
+
+class VertexStreamAdapter:
+    """Drive a :class:`StreamingVertexPartitioner` through the engine.
+
+    Replicates the historical ``partition_stream`` contract exactly: the
+    pending vertex is placed when the next vertex arrives (or at flush),
+    seeing the edges that arrived with it; late edges (both endpoints
+    placed) are metric-only.  Placed-neighbour partition counts are pushed
+    into the assignment's neighbour index as edges arrive, so greedy
+    scoring reads a cached vector at placement time.
+    """
+
+    def __init__(
+        self,
+        partitioner: StreamingVertexPartitioner,
+        *,
+        k: int,
+        capacity: int,
+    ) -> None:
+        self.partitioner = partitioner
+        self.assignment = PartitionAssignment(k, capacity)
+        self._pending: tuple[Vertex, Label] | None = None
+        self._pending_neighbours: list[Vertex] = []
+
+    def process(self, event: StreamEvent) -> None:
+        if isinstance(event, VertexArrival):
+            self._place_pending()
+            self._pending = (event.vertex, event.label)
+        elif isinstance(event, EdgeArrival):
+            pending = self._pending
+            if pending is None:
+                return
+            if event.v == pending[0]:
+                other = event.u
+            elif event.u == pending[0]:
+                other = event.v
+            else:
+                # Late edge: both endpoints already placed -- metric-only.
+                return
+            self._pending_neighbours.append(other)
+            self.assignment.note_edge(pending[0], other)
+
+    def flush(self) -> None:
+        self._place_pending()
+
+    def _place_pending(self) -> None:
+        if self._pending is None:
+            return
+        vertex, label = self._pending
+        partition = self.partitioner.place(
+            vertex, label, self._pending_neighbours, self.assignment
+        )
+        self.assignment.assign(vertex, partition)
+        self._pending = None
+        self._pending_neighbours.clear()
+
+
+def as_stream_partitioner(
+    partitioner: Any, *, k: int, capacity: int
+) -> StreamPartitioner:
+    """Lift ``partitioner`` into the engine protocol.
+
+    Plain per-vertex heuristics are wrapped in a
+    :class:`VertexStreamAdapter`; windowed partitioners (LOOM) already
+    conform and pass through untouched.
+    """
+    if isinstance(partitioner, StreamingVertexPartitioner):
+        return VertexStreamAdapter(partitioner, k=k, capacity=capacity)
+    if isinstance(partitioner, StreamPartitioner):
+        return partitioner
+    raise TypeError(
+        f"{partitioner!r} is neither a StreamingVertexPartitioner nor a "
+        "StreamPartitioner"
+    )
+
+
+@dataclass
+class StreamingEngine:
+    """Batch-driving loop over any :class:`StreamPartitioner`.
+
+    ``batch_size`` controls only stats/hook granularity, never semantics;
+    ``hooks`` receive one :class:`BatchStats` per batch.  After
+    :meth:`run`, :attr:`stats` holds the aggregate
+    :class:`EngineStats` (events/vertices per second, peak window
+    occupancy) every throughput experiment reads.
+    """
+
+    partitioner: StreamPartitioner
+    batch_size: int = DEFAULT_BATCH_SIZE
+    hooks: Sequence[StatsHook] = field(default_factory=tuple)
+    stats: EngineStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.stats = EngineStats(batch_size=self.batch_size)
+
+    def run(self, events: Sequence[StreamEvent]) -> PartitionAssignment:
+        """Consume the whole stream, flush, and return the assignment."""
+        partitioner = self.partitioner
+        process = partitioner.process
+        window = getattr(partitioner, "window", None)
+        loom_stats = getattr(partitioner, "stats", None)
+        batch_size = self.batch_size
+        total = len(events)
+        for index, start in enumerate(range(0, total, batch_size)):
+            batch = events[start : start + batch_size]
+            vertices = edges = 0
+            began = time.perf_counter()
+            for event in batch:
+                process(event)
+                if isinstance(event, VertexArrival):
+                    vertices += 1
+                else:
+                    edges += 1
+            elapsed = time.perf_counter() - began
+            batch_stats = BatchStats(
+                index=index,
+                events=len(batch),
+                vertices=vertices,
+                edges=edges,
+                seconds=elapsed,
+                assigned_total=partitioner.assignment.num_assigned,
+                window_occupancy=len(window) if window is not None else None,
+                groups_total=(
+                    loom_stats.get("groups")
+                    if isinstance(loom_stats, dict)
+                    else None
+                ),
+                singles_total=(
+                    loom_stats.get("singles")
+                    if isinstance(loom_stats, dict)
+                    else None
+                ),
+            )
+            self.stats.observe(batch_stats)
+            for hook in self.hooks:
+                hook(batch_stats)
+        began = time.perf_counter()
+        partitioner.flush()
+        self.stats.seconds += time.perf_counter() - began
+        return partitioner.assignment

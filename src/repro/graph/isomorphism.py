@@ -74,9 +74,6 @@ def find_embeddings(
             return
 
     order = _search_order(pattern)
-    label_index: dict[str, list[Vertex]] = {}
-    for vertex in target.vertices():
-        label_index.setdefault(target.label(vertex), []).append(vertex)
 
     mapping: Embedding = {}
     used: set[Vertex] = set()
@@ -97,7 +94,8 @@ def find_embeddings(
             for image in mapped_neighbours[1:]:
                 pool = pool & target.neighbours(image)
         else:
-            pool = set(label_index.get(wanted_label, ()))
+            # Served by the graph's incrementally maintained label index.
+            pool = set(target.vertices_with_label(wanted_label))
         return sorted(
             (
                 v

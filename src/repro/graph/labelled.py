@@ -9,6 +9,21 @@ cheap views over one).
 Vertices are arbitrary hashable identifiers (integers and strings in
 practice).  Edges are unordered pairs; :func:`edge_key` gives the canonical
 tuple used whenever an edge must act as a dictionary key.
+
+Internally the graph is an *indexed adjacency core*: every vertex is
+interned to a dense integer slot, adjacency is kept in integer space, and
+three derived structures are maintained incrementally on mutation --
+
+* a per-vertex cached neighbour snapshot (``frozenset`` of vertex ids),
+* a per-vertex cached repr-sorted neighbour list (the deterministic
+  iteration order the matcher and stream sources rely on), and
+* a label -> vertices index (insertion-ordered).
+
+All three are what the motif matcher, the LDG scoring loop and the cluster
+store hammer on every stream event; caching them here means the hot paths
+read O(1)/O(result) instead of rebuilding sets and re-sorting on each call.
+Slots freed by :meth:`remove_vertex` are recycled, so long-lived windowed
+graphs do not grow without bound.
 """
 
 from __future__ import annotations
@@ -59,11 +74,35 @@ class LabelledGraph:
     it rather than bypassing it.
     """
 
-    __slots__ = ("_adj", "_labels", "_num_edges")
+    __slots__ = (
+        "_index_of",
+        "_ids",
+        "_labels_at",
+        "_adj_at",
+        "_nbr_cache",
+        "_sorted_cache",
+        "_label_index",
+        "_free",
+        "_num_edges",
+    )
 
     def __init__(self) -> None:
-        self._adj: dict[Vertex, set[Vertex]] = {}
-        self._labels: dict[Vertex, Label] = {}
+        #: vertex -> slot, insertion-ordered (drives vertex iteration order).
+        self._index_of: dict[Vertex, int] = {}
+        #: slot -> vertex id (None for recycled slots).
+        self._ids: list[Vertex | None] = []
+        #: slot -> label.
+        self._labels_at: list[Label | None] = []
+        #: slot -> neighbour slots (adjacency in integer space).
+        self._adj_at: list[set[int]] = []
+        #: slot -> cached frozenset of neighbour vertex ids.
+        self._nbr_cache: list[frozenset[Vertex] | None] = []
+        #: slot -> cached repr-sorted neighbour vertex list.
+        self._sorted_cache: list[tuple[Vertex, ...] | None] = []
+        #: label -> insertion-ordered set of vertices carrying it.
+        self._label_index: dict[Label, dict[Vertex, None]] = {}
+        #: recycled slots available for reuse.
+        self._free: list[int] = []
         self._num_edges: int = 0
 
     # ------------------------------------------------------------------
@@ -130,10 +169,39 @@ class LabelledGraph:
     def copy(self) -> "LabelledGraph":
         """Return an independent deep copy of this graph."""
         clone = LabelledGraph()
-        clone._labels = dict(self._labels)
-        clone._adj = {vertex: set(nbrs) for vertex, nbrs in self._adj.items()}
+        for vertex, slot in self._index_of.items():
+            clone.add_vertex(vertex, self._labels_at[slot])
+        for vertex, slot in self._index_of.items():
+            clone_slot = clone._index_of[vertex]
+            clone._adj_at[clone_slot] = {
+                clone._index_of[self._ids[neighbour]]
+                for neighbour in self._adj_at[slot]
+            }
         clone._num_edges = self._num_edges
         return clone
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def vertex_index(self, vertex: Vertex) -> int:
+        """The dense integer slot interning ``vertex`` (raises if absent).
+
+        Slots are stable for the lifetime of the vertex and recycled after
+        removal; downstream structures (partition assignments, shard maps)
+        may key per-vertex state by slot for array-backed storage.
+        """
+        try:
+            return self._index_of[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertex_at(self, index: int) -> Vertex:
+        """Inverse of :meth:`vertex_index` (raises on free/invalid slots)."""
+        if 0 <= index < len(self._ids):
+            vertex = self._ids[index]
+            if vertex is not None:
+                return vertex
+        raise VertexNotFoundError(index)
 
     # ------------------------------------------------------------------
     # Vertices
@@ -145,51 +213,87 @@ class LabelledGraph:
         the label mapping of the paper is a function, so a vertex cannot
         carry two labels.
         """
-        existing = self._labels.get(vertex)
-        if existing is None:
-            self._labels[vertex] = label
-            self._adj[vertex] = set()
-        elif existing != label:
-            raise GraphError(
-                f"vertex {vertex!r} already has label {existing!r}, not {label!r}"
-            )
+        slot = self._index_of.get(vertex)
+        if slot is not None:
+            existing = self._labels_at[slot]
+            if existing != label:
+                raise GraphError(
+                    f"vertex {vertex!r} already has label {existing!r}, not {label!r}"
+                )
+            return vertex
+        if self._free:
+            slot = self._free.pop()
+            self._ids[slot] = vertex
+            self._labels_at[slot] = label
+            self._adj_at[slot] = set()
+            self._nbr_cache[slot] = None
+            self._sorted_cache[slot] = None
+        else:
+            slot = len(self._ids)
+            self._ids.append(vertex)
+            self._labels_at.append(label)
+            self._adj_at.append(set())
+            self._nbr_cache.append(None)
+            self._sorted_cache.append(None)
+        self._index_of[vertex] = slot
+        self._label_index.setdefault(label, {})[vertex] = None
         return vertex
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all its incident edges."""
-        neighbours = self._adj.get(vertex)
-        if neighbours is None:
+        slot = self._index_of.get(vertex)
+        if slot is None:
             raise VertexNotFoundError(vertex)
-        for neighbour in list(neighbours):
-            self.remove_edge(vertex, neighbour)
-        del self._adj[vertex]
-        del self._labels[vertex]
+        for neighbour_slot in self._adj_at[slot]:
+            self._adj_at[neighbour_slot].discard(slot)
+            self._nbr_cache[neighbour_slot] = None
+            self._sorted_cache[neighbour_slot] = None
+            self._num_edges -= 1
+        label = self._labels_at[slot]
+        carriers = self._label_index.get(label)
+        if carriers is not None:
+            carriers.pop(vertex, None)
+            if not carriers:
+                del self._label_index[label]
+        self._ids[slot] = None
+        self._labels_at[slot] = None
+        self._adj_at[slot] = set()
+        self._nbr_cache[slot] = None
+        self._sorted_cache[slot] = None
+        self._free.append(slot)
+        del self._index_of[vertex]
 
     def has_vertex(self, vertex: Vertex) -> bool:
-        return vertex in self._labels
+        return vertex in self._index_of
 
     def label(self, vertex: Vertex) -> Label:
         """Return the label of ``vertex`` (raises if absent)."""
         try:
-            return self._labels[vertex]
+            return self._labels_at[self._index_of[vertex]]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
 
     def vertices(self) -> Iterator[Vertex]:
         """Iterate over vertex ids in insertion order."""
-        return iter(self._labels)
+        return iter(self._index_of)
 
     def vertex_labels(self) -> Mapping[Vertex, Label]:
         """Read-only view of the vertex -> label mapping."""
-        return dict(self._labels)
+        labels_at = self._labels_at
+        return {vertex: labels_at[slot] for vertex, slot in self._index_of.items()}
 
     def labels(self) -> set[Label]:
         """The label alphabet ``L_V`` actually used by this graph."""
-        return set(self._labels.values())
+        return set(self._label_index)
 
     def vertices_with_label(self, label: Label) -> list[Vertex]:
-        """All vertices carrying ``label`` (insertion order)."""
-        return [v for v, l in self._labels.items() if l == label]
+        """All vertices carrying ``label`` (insertion order).
+
+        Served from the incrementally maintained label index: O(result)
+        instead of a full vertex scan.
+        """
+        carriers = self._label_index.get(label)
+        return list(carriers) if carriers is not None else []
 
     # ------------------------------------------------------------------
     # Edges
@@ -203,48 +307,91 @@ class LabelledGraph:
         """
         if u == v:
             raise GraphError(f"self-loop on {u!r} not allowed in a simple graph")
-        if u not in self._adj:
+        iu = self._index_of.get(u)
+        if iu is None:
             raise VertexNotFoundError(u)
-        if v not in self._adj:
+        iv = self._index_of.get(v)
+        if iv is None:
             raise VertexNotFoundError(v)
-        if v not in self._adj[u]:
-            self._adj[u].add(v)
-            self._adj[v].add(u)
+        if iv not in self._adj_at[iu]:
+            self._adj_at[iu].add(iv)
+            self._adj_at[iv].add(iu)
+            self._nbr_cache[iu] = None
+            self._nbr_cache[iv] = None
+            self._sorted_cache[iu] = None
+            self._sorted_cache[iv] = None
             self._num_edges += 1
         return edge_key(u, v)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``{u, v}`` (raises if absent)."""
-        if u not in self._adj or v not in self._adj or v not in self._adj[u]:
+        iu = self._index_of.get(u)
+        iv = self._index_of.get(v)
+        if iu is None or iv is None or iv not in self._adj_at[iu]:
             raise EdgeNotFoundError(u, v)
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        self._adj_at[iu].discard(iv)
+        self._adj_at[iv].discard(iu)
+        self._nbr_cache[iu] = None
+        self._nbr_cache[iv] = None
+        self._sorted_cache[iu] = None
+        self._sorted_cache[iv] = None
         self._num_edges -= 1
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
-        neighbours = self._adj.get(u)
-        return neighbours is not None and v in neighbours
+        iu = self._index_of.get(u)
+        iv = self._index_of.get(v)
+        return iu is not None and iv is not None and iv in self._adj_at[iu]
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over canonical edge tuples, each edge exactly once."""
-        seen: set[Edge] = set()
-        for u, neighbours in self._adj.items():
-            for v in neighbours:
-                key = edge_key(u, v)
-                if key not in seen:
-                    seen.add(key)
-                    yield key
+        ids = self._ids
+        adj_at = self._adj_at
+        for vertex, slot in self._index_of.items():
+            for neighbour_slot in adj_at[slot]:
+                if slot < neighbour_slot:
+                    yield edge_key(vertex, ids[neighbour_slot])
 
     def neighbours(self, vertex: Vertex) -> frozenset[Vertex]:
-        """The neighbour set of ``vertex`` as an immutable snapshot."""
+        """The neighbour set of ``vertex`` as an immutable snapshot.
+
+        Cached per vertex and invalidated on mutation, so repeated reads on
+        a quiescent region (the matcher's regrow pass, executor traversals)
+        cost a dict probe instead of a fresh set build.
+        """
         try:
-            return frozenset(self._adj[vertex])
+            slot = self._index_of[vertex]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
+        cached = self._nbr_cache[slot]
+        if cached is None:
+            ids = self._ids
+            cached = frozenset(ids[j] for j in self._adj_at[slot])
+            self._nbr_cache[slot] = cached
+        return cached
+
+    def sorted_neighbours(self, vertex: Vertex) -> tuple[Vertex, ...]:
+        """Neighbours of ``vertex`` in deterministic (repr) order, cached.
+
+        The canonical iteration order used by the motif matcher, stream
+        replay and the query executor; caching it turns the per-call
+        ``sorted(..., key=repr)`` of the hot loops into a slot read.
+        """
+        try:
+            slot = self._index_of[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        cached = self._sorted_cache[slot]
+        if cached is None:
+            ids = self._ids
+            cached = tuple(
+                sorted((ids[j] for j in self._adj_at[slot]), key=repr)
+            )
+            self._sorted_cache[slot] = cached
+        return cached
 
     def degree(self, vertex: Vertex) -> int:
         try:
-            return len(self._adj[vertex])
+            return len(self._adj_at[self._index_of[vertex]])
         except KeyError:
             raise VertexNotFoundError(vertex) from None
 
@@ -253,7 +400,7 @@ class LabelledGraph:
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
-        return len(self._labels)
+        return len(self._index_of)
 
     @property
     def num_edges(self) -> int:
@@ -263,10 +410,10 @@ class LabelledGraph:
         return self.num_vertices
 
     def __contains__(self, vertex: object) -> bool:
-        return vertex in self._labels
+        return vertex in self._index_of
 
     def __iter__(self) -> Iterator[Vertex]:
-        return iter(self._labels)
+        return iter(self._index_of)
 
     def __eq__(self, other: object) -> bool:
         """Structural equality: same vertex ids, labels and edge set.
@@ -276,11 +423,20 @@ class LabelledGraph:
         """
         if not isinstance(other, LabelledGraph):
             return NotImplemented
-        return (
-            self._labels == other._labels
-            and self._num_edges == other._num_edges
-            and all(self._adj[v] == other._adj[v] for v in self._adj)
-        )
+        if (
+            self._num_edges != other._num_edges
+            or len(self._index_of) != len(other._index_of)
+        ):
+            return False
+        for vertex, slot in self._index_of.items():
+            other_slot = other._index_of.get(vertex)
+            if other_slot is None:
+                return False
+            if self._labels_at[slot] != other._labels_at[other_slot]:
+                return False
+            if self.neighbours(vertex) != other.neighbours(vertex):
+                return False
+        return True
 
     def __hash__(self) -> int:  # pragma: no cover - mutable, therefore unhashable
         raise TypeError("LabelledGraph is mutable and unhashable; use a key view")
@@ -300,22 +456,23 @@ class LabelledGraph:
         Used to deduplicate sub-graphs that share every vertex and edge
         (e.g. the same motif instance reached through two expansion orders).
         """
-        vertex_part = frozenset(self._labels.items())
+        vertex_part = frozenset(self.vertex_labels().items())
         edge_part = frozenset(self.edges())
         return frozenset((vertex_part, edge_part))
 
     def label_histogram(self) -> dict[Label, int]:
-        """Count of vertices per label."""
-        histogram: dict[Label, int] = {}
-        for label in self._labels.values():
-            histogram[label] = histogram.get(label, 0) + 1
-        return histogram
+        """Count of vertices per label (read off the label index)."""
+        return {
+            label: len(carriers)
+            for label, carriers in self._label_index.items()
+        }
 
     def degree_histogram(self) -> dict[int, int]:
         """Count of vertices per degree value."""
         histogram: dict[int, int] = {}
-        for vertex in self._adj:
-            d = len(self._adj[vertex])
+        adj_at = self._adj_at
+        for slot in self._index_of.values():
+            d = len(adj_at[slot])
             histogram[d] = histogram.get(d, 0) + 1
         return histogram
 

@@ -71,7 +71,7 @@ def _search_order(
         while frontier:
             vertex = frontier.pop() if depth_first else frontier.popleft()
             order.append(vertex)
-            neighbours = sorted(graph.neighbours(vertex), key=repr)
+            neighbours = list(graph.sorted_neighbours(vertex))
             if rng is not None:
                 rng.shuffle(neighbours)
             for neighbour in neighbours:

@@ -20,12 +20,20 @@ from collections.abc import Collection, Sequence
 
 from repro.exceptions import CapacityExceededError, PartitioningError
 from repro.graph.labelled import Label, LabelledGraph, Vertex
-from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
+from repro.stream.events import StreamEvent
 from repro.stream.sources import stream_from_graph
 
 
 class PartitionAssignment:
-    """Vertex -> partition map with capacity accounting."""
+    """Vertex -> partition map with capacity accounting.
+
+    Besides the placement itself, the assignment keeps a *neighbour index*:
+    per-pending-vertex counts of already-placed neighbours by partition,
+    maintained incrementally by the streaming engine as edges arrive
+    (:meth:`note_edge`).  Greedy heuristics (LDG and friends) read the
+    cached vector at placement time instead of re-scanning the neighbour
+    list -- the paper's hot loop, executed once per streamed vertex.
+    """
 
     def __init__(self, k: int, capacity: int) -> None:
         if k < 1:
@@ -36,6 +44,8 @@ class PartitionAssignment:
         self.capacity = capacity
         self._partition_of: dict[Vertex, int] = {}
         self._sizes: list[int] = [0] * k
+        #: pending vertex -> placed-neighbour count per partition.
+        self._pending_counts: dict[Vertex, list[int]] = {}
 
     # ------------------------------------------------------------------
     def assign(self, vertex: Vertex, partition: int) -> None:
@@ -52,6 +62,7 @@ class PartitionAssignment:
             )
         self._partition_of[vertex] = partition
         self._sizes[partition] += 1
+        self._pending_counts.pop(vertex, None)
 
     def move(self, vertex: Vertex, partition: int) -> None:
         """Re-place an assigned vertex (offline refinement only)."""
@@ -71,6 +82,33 @@ class PartitionAssignment:
         self._sizes[current] -= 1
         self._sizes[partition] += 1
         self._partition_of[vertex] = partition
+        # Moves invalidate any incrementally maintained neighbour counts
+        # (offline refinement only; streaming placements never move).
+        self._pending_counts.clear()
+
+    # ------------------------------------------------------------------
+    # Neighbour index (maintained by the streaming engine)
+    # ------------------------------------------------------------------
+    def note_edge(self, pending: Vertex, placed: Vertex) -> None:
+        """Record that unplaced ``pending`` has the placed neighbour ``placed``.
+
+        Ignored when ``placed`` is in fact unassigned (mirroring the skip in
+        the fallback scan of
+        :meth:`StreamingVertexPartitioner.neighbour_counts`) or when
+        ``pending`` has already been placed (nothing left to score).
+        """
+        partition = self._partition_of.get(placed)
+        if partition is None or pending in self._partition_of:
+            return
+        counts = self._pending_counts.get(pending)
+        if counts is None:
+            counts = [0] * self.k
+            self._pending_counts[pending] = counts
+        counts[partition] += 1
+
+    def cached_neighbour_counts(self, vertex: Vertex) -> list[int] | None:
+        """The neighbour-index vector for ``vertex`` (None if not tracked)."""
+        return self._pending_counts.get(vertex)
 
     def partition_of(self, vertex: Vertex) -> int | None:
         """The partition hosting ``vertex``, or ``None`` if unassigned."""
@@ -82,6 +120,14 @@ class PartitionAssignment:
 
     def sizes(self) -> list[int]:
         return list(self._sizes)
+
+    def sizes_view(self) -> Sequence[int]:
+        """The live per-partition size list (read-only by convention).
+
+        The greedy scoring loops read this once per placement instead of
+        calling :meth:`size` k times -- treat it as a borrowed view.
+        """
+        return self._sizes
 
     def free_capacity(self, partition: int) -> int:
         return self.capacity - self._sizes[partition]
@@ -136,6 +182,16 @@ class StreamingVertexPartitioner(ABC):
 
     name: str = "abstract"
 
+    @classmethod
+    def from_request(cls, request) -> "StreamingVertexPartitioner":
+        """Registry builder hook: default is zero-argument construction.
+
+        Subclasses whose constructors need stream statistics, RNGs or
+        workloads (Fennel, random, traversal-aware LDG) override this to
+        draw them from the :class:`repro.engine.registry.PartitionRequest`.
+        """
+        return cls()
+
     @abstractmethod
     def place(
         self,
@@ -149,8 +205,21 @@ class StreamingVertexPartitioner(ABC):
     # Helper shared by greedy implementations.
     @staticmethod
     def neighbour_counts(
-        placed_neighbours: Collection[Vertex], assignment: PartitionAssignment
+        placed_neighbours: Collection[Vertex],
+        assignment: PartitionAssignment,
+        vertex: Vertex | None = None,
     ) -> list[int]:
+        """Placed-neighbour counts per partition for the arriving vertex.
+
+        When the streaming engine has been maintaining the assignment's
+        neighbour index for ``vertex`` (see
+        :meth:`PartitionAssignment.note_edge`), the cached vector is
+        returned directly; otherwise the neighbour list is scanned.
+        """
+        if vertex is not None:
+            cached = assignment.cached_neighbour_counts(vertex)
+            if cached is not None:
+                return cached
         counts = [0] * assignment.k
         for neighbour in placed_neighbours:
             partition = assignment.partition_of(neighbour)
@@ -181,35 +250,16 @@ def partition_stream(
     streaming model).  Edges arriving after both endpoints were placed
     ("late" edges) cannot influence placement -- they only affect quality
     metrics, which is precisely the streaming model's limitation.
+
+    Since the engine refactor this is a thin wrapper over
+    :class:`repro.engine.StreamingEngine` driving a
+    :class:`repro.engine.VertexStreamAdapter`; the per-event contract is
+    unchanged.
     """
-    assignment = PartitionAssignment(k, capacity)
-    pending_vertex: tuple[Vertex, Label] | None = None
-    pending_neighbours: list[Vertex] = []
+    from repro.engine.pipeline import StreamingEngine, VertexStreamAdapter
 
-    def flush() -> None:
-        nonlocal pending_vertex
-        if pending_vertex is None:
-            return
-        vertex, label = pending_vertex
-        partition = partitioner.place(
-            vertex, label, pending_neighbours, assignment
-        )
-        assignment.assign(vertex, partition)
-        pending_vertex = None
-        pending_neighbours.clear()
-
-    for event in events:
-        if isinstance(event, VertexArrival):
-            flush()
-            pending_vertex = (event.vertex, event.label)
-        elif isinstance(event, EdgeArrival):
-            if pending_vertex is not None and event.v == pending_vertex[0]:
-                pending_neighbours.append(event.u)
-            elif pending_vertex is not None and event.u == pending_vertex[0]:
-                pending_neighbours.append(event.v)
-            # else: late edge, both endpoints already placed -- metric-only.
-    flush()
-    return assignment
+    adapter = VertexStreamAdapter(partitioner, k=k, capacity=capacity)
+    return StreamingEngine(adapter).run(events)
 
 
 def partition_graph(

@@ -21,11 +21,16 @@ from __future__ import annotations
 import math
 from collections.abc import Collection
 
+from repro.engine.registry import default_registry
 from repro.exceptions import PartitioningError
 from repro.graph.labelled import Label, Vertex
 from repro.partitioning.base import PartitionAssignment, StreamingVertexPartitioner
 
 
+@default_registry.register(
+    "fennel",
+    description="Fennel interpolated-objective streaming partitioner (WSDM'14)",
+)
 class FennelPartitioner(StreamingVertexPartitioner):
     """One-pass Fennel with fixed or adaptive ``alpha``."""
 
@@ -50,6 +55,15 @@ class FennelPartitioner(StreamingVertexPartitioner):
         self._seen_vertices = 0
         self._seen_edges = 0
 
+    @classmethod
+    def from_request(cls, request) -> "FennelPartitioner":
+        """Draw the stream's size hints and slack from the request."""
+        return cls(
+            expected_vertices=request.graph.num_vertices,
+            expected_edges=request.graph.num_edges,
+            balance_slack=request.slack,
+        )
+
     # ------------------------------------------------------------------
     def _alpha(self, k: int) -> float:
         n = self.expected_vertices or max(self._seen_vertices, 1)
@@ -71,7 +85,7 @@ class FennelPartitioner(StreamingVertexPartitioner):
     ) -> int:
         self._seen_vertices += 1
         self._seen_edges += len(placed_neighbours)
-        counts = self.neighbour_counts(placed_neighbours, assignment)
+        counts = self.neighbour_counts(placed_neighbours, assignment, vertex)
         alpha = self._alpha(assignment.k)
         limit = self._load_limit(assignment)
 

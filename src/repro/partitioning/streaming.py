@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from collections.abc import Collection, Mapping
 
+from repro.engine.registry import default_registry
 from repro.graph.labelled import Label, Vertex
 from repro.partitioning.base import PartitionAssignment, StreamingVertexPartitioner
 
@@ -48,6 +49,7 @@ def ldg_group_score(
     return edges_to_partition * (1.0 - projected / (capacity + group_size))
 
 
+@default_registry.register("balanced", description="Least-loaded placement, edges ignored (balance-only baseline)")
 class BalancedPartitioner(StreamingVertexPartitioner):
     """Ignore edges entirely: always the least-loaded partition."""
 
@@ -63,6 +65,7 @@ class BalancedPartitioner(StreamingVertexPartitioner):
         return self.fallback_partition(assignment)
 
 
+@default_registry.register("chunking", description="Fill partitions in arrival order (chunking baseline)")
 class ChunkingPartitioner(StreamingVertexPartitioner):
     """Fill partition 0, then 1, ... in arrival order (locality only if the
     stream order has it, e.g. BFS crawls)."""
@@ -82,6 +85,7 @@ class ChunkingPartitioner(StreamingVertexPartitioner):
         return self.fallback_partition(assignment)
 
 
+@default_registry.register("greedy", description="Unweighted greedy neighbour count (cautionary baseline)")
 class DeterministicGreedy(StreamingVertexPartitioner):
     """Unweighted greedy: argmax ``|N(v) ∩ V_i|``; ties to least loaded.
 
@@ -98,13 +102,14 @@ class DeterministicGreedy(StreamingVertexPartitioner):
         placed_neighbours: Collection[Vertex],
         assignment: PartitionAssignment,
     ) -> int:
-        counts = self.neighbour_counts(placed_neighbours, assignment)
+        counts = self.neighbour_counts(placed_neighbours, assignment, vertex)
         feasible = assignment.feasible_partitions()
         if not feasible:
             return self.fallback_partition(assignment)
         return max(feasible, key=lambda i: (counts[i], -assignment.size(i), -i))
 
 
+@default_registry.register("ldg", description="Linear Deterministic Greedy -- LOOM's base heuristic")
 class LinearDeterministicGreedy(StreamingVertexPartitioner):
     """LDG -- LOOM's base heuristic.
 
@@ -122,20 +127,34 @@ class LinearDeterministicGreedy(StreamingVertexPartitioner):
         placed_neighbours: Collection[Vertex],
         assignment: PartitionAssignment,
     ) -> int:
-        counts = self.neighbour_counts(placed_neighbours, assignment)
-        feasible = assignment.feasible_partitions()
-        if not feasible:
+        # Hand-rolled argmax over (score, -size, -i): this is the hot loop
+        # executed once per streamed vertex (alone and inside LOOM), so no
+        # per-candidate tuple/lambda allocation.
+        counts = self.neighbour_counts(placed_neighbours, assignment, vertex)
+        sizes = assignment.sizes_view()
+        capacity = assignment.capacity
+        best = -1
+        best_score = 0.0
+        best_size = 0
+        for i in range(assignment.k):
+            size = sizes[i]
+            if size >= capacity:
+                continue
+            score = counts[i] * (1.0 - size / capacity)
+            if (
+                best < 0
+                or score > best_score
+                or (score == best_score and size < best_size)
+            ):
+                best = i
+                best_score = score
+                best_size = size
+        if best < 0:
             return self.fallback_partition(assignment)
-        return max(
-            feasible,
-            key=lambda i: (
-                ldg_score(counts[i], assignment.size(i), assignment.capacity),
-                -assignment.size(i),
-                -i,
-            ),
-        )
+        return best
 
 
+@default_registry.register("edg", description="Exponentially weighted deterministic greedy")
 class ExponentialDeterministicGreedy(StreamingVertexPartitioner):
     """Exponentially weighted greedy:
     ``|N(v) ∩ V_i| * (1 - exp(|V_i| - C))``."""
@@ -149,7 +168,7 @@ class ExponentialDeterministicGreedy(StreamingVertexPartitioner):
         placed_neighbours: Collection[Vertex],
         assignment: PartitionAssignment,
     ) -> int:
-        counts = self.neighbour_counts(placed_neighbours, assignment)
+        counts = self.neighbour_counts(placed_neighbours, assignment, vertex)
         feasible = assignment.feasible_partitions()
         if not feasible:
             return self.fallback_partition(assignment)

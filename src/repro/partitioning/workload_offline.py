@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 
+from repro.engine.registry import OFFLINE, default_registry
 from repro.cluster.executor import run_workload
 from repro.cluster.store import DistributedGraphStore
 from repro.graph.labelled import Edge, LabelledGraph
@@ -96,3 +97,29 @@ def workload_aware_multilevel(
     return multilevel_partition(
         graph, k, slack=slack, rng=local_rng, edge_weights=weights
     )
+
+
+def _build_offline_wa(request) -> PartitionAssignment:
+    options = {
+        key: value
+        for key, value in request.options.items()
+        if key in ("executions", "base_weight")
+    }
+    return workload_aware_multilevel(
+        request.graph,
+        request.workload,
+        request.k,
+        slack=request.slack,
+        rng=request.resolved_rng(),
+        **options,
+    )
+
+
+default_registry.add(
+    "offline_wa",
+    kind=OFFLINE,
+    build=_build_offline_wa,
+    needs_workload=True,
+    description="Workload-aware offline skyline: profile -> edge weights -> "
+    "weighted multilevel",
+)

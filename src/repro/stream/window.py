@@ -31,22 +31,35 @@ from repro.graph.labelled import Label, LabelledGraph, Vertex
 @dataclass(frozen=True, slots=True)
 class WindowedVertex:
     """A vertex leaving the window, with the neighbour context needed to
-    assign it: buffered neighbours stay unplaced, external neighbours are
-    already placed."""
+    assign it: buffered (internal) neighbours stay unplaced, external
+    neighbours are already placed.  The internal set lets the caller update
+    per-vertex neighbour indexes once the departing vertex is assigned."""
 
     vertex: Vertex
     label: Label
     external_neighbours: frozenset[Vertex] = field(default_factory=frozenset)
+    internal_neighbours: frozenset[Vertex] = field(default_factory=frozenset)
 
 
 class SlidingWindow:
-    """Count-based sliding window over a graph stream."""
+    """Count-based sliding window over a graph stream.
 
-    def __init__(self, capacity: int) -> None:
+    ``graph_factory`` lets callers substitute the buffered sub-graph's
+    representation (the indexed adjacency core by default); the engine
+    hot-path microbenchmark uses it to compare against an uncached
+    baseline graph.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        graph_factory: type[LabelledGraph] = LabelledGraph,
+    ) -> None:
         if capacity < 1:
             raise StreamError("window capacity must be >= 1")
         self.capacity = capacity
-        self.graph = LabelledGraph()
+        self.graph = graph_factory()
         self._arrivals: OrderedDict[Vertex, None] = OrderedDict()
         self._external: dict[Vertex, set[Vertex]] = {}
 
@@ -117,6 +130,7 @@ class SlidingWindow:
             vertex=vertex,
             label=self.graph.label(vertex),
             external_neighbours=external,
+            internal_neighbours=internal,
         )
         for neighbour in internal:
             self._external[neighbour].add(vertex)
@@ -141,9 +155,20 @@ class SlidingWindow:
         except KeyError:
             raise StreamError(f"vertex {vertex!r} not buffered") from None
 
+    def has_external(self, vertex: Vertex, neighbour: Vertex) -> bool:
+        """True when ``neighbour`` is already a recorded external neighbour
+        of buffered ``vertex`` (O(1); False for unbuffered vertices)."""
+        bucket = self._external.get(vertex)
+        return bucket is not None and neighbour in bucket
+
     def arrival_order(self) -> list[Vertex]:
         """Buffered vertices, oldest first."""
         return list(self._arrivals)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of buffered vertices (the engine's per-batch stat)."""
+        return len(self._arrivals)
 
     @property
     def is_full(self) -> bool:

@@ -102,7 +102,7 @@ def _simple_label_paths(
         yield _canonical_path(labels)
         if len(path) >= max_length:
             return
-        for neighbour in sorted(graph.neighbours(path[-1]), key=repr):
+        for neighbour in graph.sorted_neighbours(path[-1]):
             if neighbour not in path:
                 yield from extend(path + [neighbour])
 

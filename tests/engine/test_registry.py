@@ -1,0 +1,128 @@
+"""Tests for the partitioner registry (discovery, capabilities, errors)."""
+
+import pytest
+
+from repro.engine.registry import (
+    OFFLINE,
+    STREAMING,
+    PartitionRequest,
+    PartitionerRegistry,
+    UnknownPartitionerError,
+    default_registry,
+)
+from repro.graph.labelled import LabelledGraph
+from repro.partitioning.base import StreamingVertexPartitioner
+from repro.stream.sources import stream_from_graph
+from repro.workload import figure1_graph, figure1_workload
+
+BUILTIN_STREAMING = {
+    "hash", "random", "balanced", "chunking", "greedy", "ldg", "edg",
+    "fennel", "loom", "loom_ta", "ta-ldg",
+}
+BUILTIN_OFFLINE = {"offline", "offline_wa"}
+
+
+def _request(**overrides) -> PartitionRequest:
+    graph = figure1_graph()
+    defaults = dict(
+        graph=graph,
+        events=stream_from_graph(graph, ordering="natural"),
+        k=2,
+        capacity=5,
+        workload=figure1_workload(),
+        window_size=8,
+        motif_threshold=0.6,
+    )
+    defaults.update(overrides)
+    return PartitionRequest(**defaults)
+
+
+class TestBuiltins:
+    def test_every_builtin_registered(self):
+        names = set(default_registry.names())
+        assert BUILTIN_STREAMING | BUILTIN_OFFLINE <= names
+
+    def test_kind_filters(self):
+        assert set(default_registry.names(kind=STREAMING)) >= BUILTIN_STREAMING
+        assert set(default_registry.names(kind=OFFLINE)) >= BUILTIN_OFFLINE
+
+    def test_workload_capability_metadata(self):
+        needy = set(default_registry.names(needs_workload=True))
+        assert {"loom", "loom_ta", "ta-ldg", "offline_wa"} <= needy
+        assert "ldg" not in needy
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_STREAMING))
+    def test_streaming_round_trip_by_name(self, name):
+        """Every streaming built-in builds and places the figure-1 graph."""
+        spec = default_registry.resolve(name)
+        assert spec.is_streaming
+        request = _request()
+        partitioner = spec.build(request)
+        assert partitioner is not None
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_OFFLINE))
+    def test_offline_round_trip_by_name(self, name):
+        spec = default_registry.resolve(name)
+        assert not spec.is_streaming
+        assignment = spec.build(_request())
+        assert assignment.num_assigned == figure1_graph().num_vertices
+
+    def test_descriptions_present(self):
+        for spec in default_registry.specs():
+            assert spec.description, spec.name
+
+    def test_membership(self):
+        assert "ldg" in default_registry
+        assert "metis" not in default_registry
+
+
+class TestErrors:
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError):
+            default_registry.resolve("metis")
+
+    def test_unknown_name_error_type(self):
+        with pytest.raises(UnknownPartitionerError, match="unknown method"):
+            default_registry.resolve("no-such-method")
+
+    def test_workload_requirement_enforced(self):
+        spec = default_registry.resolve("loom")
+        with pytest.raises(ValueError, match="needs a workload"):
+            spec.check_request(_request(workload=None))
+
+    def test_duplicate_registration_rejected(self):
+        registry = PartitionerRegistry()
+        registry.add("x", kind=STREAMING, build=lambda request: None)
+        with pytest.raises(Exception, match="already registered"):
+            registry.add("x", kind=STREAMING, build=lambda request: None)
+
+    def test_bad_kind_rejected(self):
+        registry = PartitionerRegistry()
+        with pytest.raises(Exception, match="kind"):
+            registry.add("x", kind="sideways", build=lambda request: None)
+
+
+class TestSelfRegistration:
+    def test_decorator_registers_and_builds(self):
+        registry = PartitionerRegistry()
+        registry._builtins_loaded = True  # isolate from the global providers
+
+        @registry.register("noop", description="always partition 0")
+        class Noop(StreamingVertexPartitioner):
+            def place(self, vertex, label, placed_neighbours, assignment):
+                return 0
+
+        spec = registry.resolve("noop")
+        built = spec.build(_request())
+        assert isinstance(built, Noop)
+        assert spec.description == "always partition 0"
+
+    def test_request_capacity_resolution(self):
+        request = _request(capacity=None, k=2, slack=1.0)
+        graph = LabelledGraph.path("abcd")
+        request.graph = graph
+        assert request.resolved_capacity() == 2
+
+    def test_request_rng_is_stable(self):
+        request = _request(seed=42)
+        assert request.resolved_rng() is request.resolved_rng()
