@@ -1,11 +1,16 @@
-"""Engine hot-path microbenchmark: indexed adjacency core vs seed baseline.
+"""Engine hot-path microbenchmark: interned hot path vs PR-1 baseline.
 
-Shape reproduced: on a ≥10k-edge stream, the indexed adjacency core plus
-the engine's assignment neighbour index make (a) the plain-LDG placement
-loop and (b) the distributed pattern matcher measurably faster than the
-seed's per-call rebuild representation, while producing byte-identical
-assignments and query results.  The full LOOM pipeline must at least not
-regress (its cost is dominated by window bookkeeping both sides share).
+Shape reproduced: on a ≥10k-edge stream, the interned-signature matcher,
+int-edge-key match index, trie lookup tables and batched window routing
+make (a) the plain-LDG placement loop, (b) the full LOOM pipeline
+(window -> motif matcher -> group LDG) and (c) the distributed pattern
+matcher measurably faster than the PR-1 representation preserved in
+:mod:`repro.bench.legacy`, while producing byte-identical assignments
+and query results (asserted inside the benchmark itself).
+
+This file doubles as the CI bench smoke job: the ``loom_speedup``
+assertion guards the hot path against regressions (CI fails well before
+the speedup falls under 1.0).
 """
 
 from repro.bench.hotpath import run_hotpath_benchmark
@@ -18,10 +23,19 @@ def test_engine_hotpath_faster_than_seed(benchmark):
         iterations=1,
     )
     assert result.edges >= 10_000, "benchmark stream must have >= 10k edges"
-    # The two clearly-winning hot paths: LDG placement and query matching.
+    # All three hot paths must beat the PR-1 baseline.
     assert result.ldg_speedup > 1.1, result.as_dict()
-    assert result.executor_speedup > 1.1, result.as_dict()
-    # The full windowed pipeline must not materially regress (it hovers
-    # around parity: window bookkeeping dominates and is shared by both
-    # representations, so allow generous noise headroom).
-    assert result.loom_speedup > 0.8, result.as_dict()
+    # The PR-2 executor optimisations (hoisted pattern edges, single
+    # partition resolve per expansion) apply to both representations, so
+    # the remaining executor gap is the graph core alone -- smaller than
+    # in PR 1, and asserted with headroom for CI noise.
+    assert result.executor_speedup > 1.05, result.as_dict()
+    # The LOOM pipeline runs ~1.5x on quiet machines (BENCH_PR2.json);
+    # the CI guard is the regression floor -- any dip below parity with
+    # the PR-1 path is a real hot-path regression, while asserting the
+    # full margin would flake on noisy shared runners.
+    assert result.loom_speedup > 1.0, result.as_dict()
+    # Stage attribution must cover the matcher stages.
+    assert set(result.loom_stage_seconds) == {
+        "match", "extend", "regrow", "evict"
+    }, result.as_dict()

@@ -4,10 +4,15 @@
 Equivalent to ``loom-repro bench``.  Times every experiment the
 ``bench_*`` pytest files wrap (fast mode by default, like the pytest
 suite) plus the engine hot-path microbenchmark, then writes
-``BENCH_PR1.json``::
+``BENCH_PR2.json``::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR1.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR2.json]
                                                 [--seed 0] [--full]
+                                                [--baseline BENCH_PR1.json]
+
+``--baseline`` prints per-experiment wall-time deltas against a prior
+BENCH file (same ``loom-repro/bench/v1`` schema), making the perf
+trajectory across PRs machine-readable end to end.
 """
 
 from __future__ import annotations
@@ -18,12 +23,17 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.runner import run_bench_suite, write_bench_json  # noqa: E402
+from repro.bench.runner import (  # noqa: E402
+    diff_bench,
+    load_bench_json,
+    run_bench_suite,
+    write_bench_json,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out", default="BENCH_PR2.json")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--full", action="store_true",
@@ -32,6 +42,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-hotpath", action="store_true",
         help="skip the engine hot-path microbenchmark",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="BENCH_JSON",
+        help="prior BENCH file to print per-experiment deltas against",
     )
     args = parser.parse_args(argv)
     payload = run_bench_suite(
@@ -47,6 +61,11 @@ def main(argv: list[str] | None = None) -> int:
             f"ldg={hp['ldg_speedup']}x loom={hp['loom_speedup']}x "
             f"executor={hp['executor_speedup']}x"
         )
+    if args.baseline:
+        baseline = load_bench_json(args.baseline)
+        print(f"deltas vs {args.baseline}:")
+        for line in diff_bench(payload, baseline):
+            print(f"  {line}")
     print(f"wrote {target}")
     return 0
 

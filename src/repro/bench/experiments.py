@@ -487,14 +487,22 @@ def experiment_e7(seed: int = 0, fast: bool = False) -> list[Table]:
         candidate = edge_subgraph(loom.window.graph, match.edges)
         checked += 1
         verified += is_isomorphic(candidate, node.graph)
+    matcher_stats = loom.matcher.stats
     precision_table = Table(
         "E7c: stream matcher precision (signature hits verified by isomorphism)",
-        ["matches_checked", "verified", "precision"],
+        ["matches_checked", "verified", "precision",
+         "trusted_hits", "verified_hits", "evictions"],
     )
     precision_table.add_row(
         matches_checked=checked,
         verified=verified,
         precision=verified / checked if checked else 1.0,
+        # Matcher-side accounting: signature hits registered on trust vs
+        # confirmed by isomorphism (verify mode), and matches evicted as
+        # their vertices were assigned out of the window.
+        trusted_hits=matcher_stats["trusted"],
+        verified_hits=matcher_stats["verified"],
+        evictions=matcher_stats["evicted"],
     )
     return [collision_table, build_table, precision_table]
 

@@ -4,8 +4,9 @@
 (each benchmark file times one experiment in ``fast`` mode) plus the
 engine hot-path microbenchmark, and returns one JSON-serialisable payload
 with per-benchmark wall-times.  ``benchmarks/run_all.py`` and the CLI
-``bench`` subcommand both write it to ``BENCH_PR1.json`` so successive
-PRs can diff like-for-like numbers.
+``bench`` subcommand both write it to a ``BENCH_PR<n>.json`` file so
+successive PRs can diff like-for-like numbers; :func:`diff_bench`
+renders the per-experiment deltas between two such files.
 """
 
 from __future__ import annotations
@@ -66,3 +67,50 @@ def write_bench_json(path: str | Path, payload: dict[str, Any]) -> Path:
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target
+
+
+def load_bench_json(path: str | Path) -> dict[str, Any]:
+    """Load a BENCH file, checking it speaks our schema."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} is not {SCHEMA!r}; cannot diff"
+        )
+    return payload
+
+
+def diff_bench(
+    payload: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Per-experiment wall-time deltas of ``payload`` vs ``baseline``.
+
+    Returns printable lines (one per experiment, plus hot-path speedup
+    comparisons) so successive BENCH files -- BENCH_PR1.json ->
+    BENCH_PR2.json -> ... -- give a machine- and human-readable perf
+    trajectory.  Positive deltas mean the current run is slower.
+    """
+    lines: list[str] = []
+    base_experiments = baseline.get("experiments", {})
+    for experiment_id, entry in sorted(payload.get("experiments", {}).items()):
+        seconds = entry["seconds"]
+        base = base_experiments.get(experiment_id)
+        if base is None:
+            lines.append(f"{experiment_id:4s} {seconds:8.3f}s (no baseline)")
+            continue
+        base_seconds = base["seconds"]
+        delta = seconds - base_seconds
+        ratio = base_seconds / seconds if seconds else float("inf")
+        lines.append(
+            f"{experiment_id:4s} {seconds:8.3f}s vs {base_seconds:8.3f}s "
+            f"({delta:+.3f}s, {ratio:.2f}x)"
+        )
+    ours = payload.get("hotpath")
+    theirs = baseline.get("hotpath")
+    if ours and theirs:
+        for key in ("ldg_speedup", "loom_speedup", "executor_speedup"):
+            if key in ours and key in theirs:
+                lines.append(
+                    f"hotpath {key}: {ours[key]}x vs {theirs[key]}x"
+                )
+    return lines

@@ -8,7 +8,7 @@
     loom-repro experiment all --out results/
     loom-repro demo                      # figure-1 walkthrough
     loom-repro partition --graph g.txt --method loom -k 4 ...
-    loom-repro bench --out BENCH_PR1.json
+    loom-repro bench --out BENCH_PR2.json --baseline BENCH_PR1.json
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -126,7 +126,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench.runner import run_bench_suite, write_bench_json
+    from repro.bench.runner import (
+        diff_bench,
+        load_bench_json,
+        run_bench_suite,
+        write_bench_json,
+    )
 
     payload = run_bench_suite(
         seed=args.seed, fast=not args.full, hotpath=not args.no_hotpath
@@ -134,6 +139,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
     print(f"{len(payload['experiments'])} experiments in {total:.1f}s")
+    if args.baseline:
+        print(f"deltas vs {args.baseline}:")
+        for line in diff_bench(payload, load_bench_json(args.baseline)):
+            print(f"  {line}")
     print(f"wrote {target}")
     return 0
 
@@ -178,11 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the benchmark suite, write machine-readable JSON"
     )
-    bench.add_argument("--out", default="BENCH_PR1.json")
+    bench.add_argument("--out", default="BENCH_PR2.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--full", action="store_true", help="full grids (slow)")
     bench.add_argument("--no-hotpath", action="store_true",
                        help="skip the engine hot-path microbenchmark")
+    bench.add_argument("--baseline", default=None, metavar="BENCH_JSON",
+                       help="prior BENCH file to print deltas against")
     bench.set_defaults(fn=_cmd_bench)
     return parser
 

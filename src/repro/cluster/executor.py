@@ -114,8 +114,18 @@ class DistributedQueryExecutor:
         pattern = query.graph
         store = self.store
         ledger = TraversalLedger(track_edges=self.track_edges)
+        track_edges = self.track_edges
 
         order = _search_order(pattern)
+        # Hoisted out of the per-answer leaf: the pattern's edge list is
+        # fixed for the whole execution, and answers dedup by compact
+        # integer edge ids from the store graph's interned adjacency core
+        # (cheaper to hash than canonical vertex tuples, same identity).
+        pattern_edges = list(pattern.edges())
+        answer_edge_id = store.graph.edge_id
+        record = ledger.record
+        is_remote_from = store.is_remote_from
+        store_label = store.label
         mapping: dict[Vertex, Vertex] = {}
         used: set[Vertex] = set()
         found = 0
@@ -123,7 +133,6 @@ class DistributedQueryExecutor:
 
         def candidates(pattern_vertex: Vertex) -> list[Vertex]:
             wanted = pattern.label(pattern_vertex)
-            needed_degree = pattern.degree(pattern_vertex)
             anchors = [
                 p for p in pattern.neighbours(pattern_vertex) if p in mapping
             ]
@@ -139,15 +148,17 @@ class DistributedQueryExecutor:
                 )
             # Expand from the matched anchor image: each neighbour touched
             # is one traversal (the remote side must be asked for its
-            # label/degree, whether or not it ends up matching).
+            # label/degree, whether or not it ends up matching).  The
+            # anchor's partition is resolved once for the whole expansion.
             anchor_image = mapping[anchors[0]]
+            home = store.partition_of(anchor_image)
             pool = []
             for w in store.sorted_neighbours(anchor_image):
-                ledger.record(
-                    store.is_remote(anchor_image, w),
-                    edge=edge_key(anchor_image, w),
+                record(
+                    is_remote_from(home, w),
+                    edge=edge_key(anchor_image, w) if track_edges else None,
                 )
-                if w in used or store.label(w) != wanted:
+                if w in used or store_label(w) != wanted:
                     continue
                 pool.append(w)
             # Remaining anchors filter by adjacency; checking adjacency of
@@ -174,8 +185,8 @@ class DistributedQueryExecutor:
                 answer = (
                     frozenset(mapping.values()),
                     frozenset(
-                        edge_key(mapping[u], mapping[v])
-                        for u, v in pattern.edges()
+                        answer_edge_id(mapping[u], mapping[v])
+                        for u, v in pattern_edges
                     ),
                 )
                 if answer not in seen_answers:

@@ -74,8 +74,20 @@ class DistributedGraphStore:
         The hop stays local when ``v``'s primary copy lives with ``u`` or
         a replica of ``v`` has been placed in ``u``'s partition.
         """
-        home = self.partition_of(u)
-        if home == self.partition_of(v):
+        return self.is_remote_from(self.partition_of(u), v)
+
+    def is_remote_from(self, home: int, v: Vertex) -> bool:
+        """:meth:`is_remote` with the source partition already resolved.
+
+        The executor expands every neighbour of one anchor vertex in a
+        row; resolving the anchor's partition once and probing only the
+        far endpoint halves the per-traversal lookups on the query hot
+        path.
+        """
+        far = self.assignment.partition_of(v)
+        if far is None:  # pragma: no cover - complete assignment checked
+            raise PartitioningError(f"vertex {v!r} unassigned")
+        if home == far:
             return False
         return home not in self._replicas.get(v, ())
 

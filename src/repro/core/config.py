@@ -46,6 +46,11 @@ class LoomConfig:
         procedure for large matched sub-graphs" -- by recursively halving
         the group along its connectivity and placing the halves with
         sub-graph LDG.
+    ``stage_timings``
+        Accumulate per-stage wall-time in the matcher
+        (match/extend/regrow/evict), surfaced through the streaming
+        engine's ``stage_seconds`` batch statistics.  Off by default: the
+        clock reads cost a few percent on the hot path.
     """
 
     k: int
@@ -58,6 +63,7 @@ class LoomConfig:
     authoritative_motifs: bool = False
     traversal_aware_singles: bool = False
     oversize_strategy: str = "individual"
+    stage_timings: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:

@@ -39,7 +39,7 @@ from repro.partitioning.streaming import (
 )
 from repro.signatures.signature import SignatureScheme
 from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
-from repro.stream.window import SlidingWindow
+from repro.stream.window import ROUTE_INTERNAL, SlidingWindow
 from repro.tpstry.trie import TPSTryPP
 from repro.workload.workloads import Workload
 
@@ -56,8 +56,14 @@ class LoomPartitioner:
         *,
         scheme: SignatureScheme | None = None,
         window_graph_factory: type[LabelledGraph] = LabelledGraph,
+        window_factory=SlidingWindow,
+        matcher_factory=StreamMotifMatcher,
         assignment_index: bool = False,
     ) -> None:
+        """``window_factory`` / ``matcher_factory`` substitute the window
+        and matcher implementations (same construction signatures); the
+        engine hot-path benchmark injects the legacy pair from
+        :mod:`repro.bench.legacy` to price the representation change."""
         self.config = config
         self.workload = workload
         #: Maintain the assignment's neighbour index incrementally instead
@@ -73,10 +79,10 @@ class LoomPartitioner:
         self.trie = TPSTryPP.from_workload(
             workload, scheme=scheme, authoritative=config.authoritative_motifs
         )
-        self.window = SlidingWindow(
+        self.window = window_factory(
             config.window_size, graph_factory=window_graph_factory
         )
-        self.matcher = StreamMotifMatcher(
+        self.matcher = matcher_factory(
             self.trie,
             self.window.graph,
             frequent_signatures=self.trie.frequent_signatures(
@@ -84,14 +90,28 @@ class LoomPartitioner:
             ),
             resignature_fix=config.resignature_fix,
             verify=config.authoritative_motifs,
+            timed=config.stage_timings,
         )
         self.assignment = PartitionAssignment(config.k, config.capacity)
         if config.traversal_aware_singles:
             self._single_placer = TraversalAwareLDG(self.trie)
+            self._record_label = self._single_placer.record_label
         else:
             self._single_placer = LinearDeterministicGreedy()
+            self._record_label = None
         #: Diagnostics surfaced by the ablation benches.
         self.stats = {"groups": 0, "group_vertices": 0, "singles": 0, "split_groups": 0}
+
+    @property
+    def stage_seconds(self) -> dict[str, float] | None:
+        """Cumulative per-stage matcher wall-time (match/extend/regrow/
+        evict) when ``config.stage_timings`` is on, else ``None``.  The
+        streaming engine snapshots this per batch so benchmarks can
+        attribute pipeline time to stages."""
+        timings = getattr(self.matcher, "timings", None)
+        if timings is None or not getattr(self.matcher, "timed", False):
+            return None
+        return dict(timings)
 
     @classmethod
     def from_request(
@@ -124,34 +144,46 @@ class LoomPartitioner:
         return StreamingEngine(self).run(events)
 
     def process(self, event: StreamEvent) -> None:
-        """Feed one stream event."""
-        if isinstance(event, VertexArrival):
-            while self.window.is_full:
-                self._assign_due()
-            self.window.add_vertex(event.vertex, event.label)
-            if isinstance(self._single_placer, TraversalAwareLDG):
-                self._single_placer.record_label(event.vertex, event.label)
-        elif isinstance(event, EdgeArrival):
-            u, v = event.u, event.v
-            new_external: tuple[Vertex, Vertex] | None = None
-            if self.assignment_index:
-                # Determine *before* the add whether this is a genuinely
-                # new external neighbour: the window's external sets
-                # deduplicate, and the index must mirror that exactly.
-                u_buffered = u in self.window
-                v_buffered = v in self.window
-                if u_buffered and not v_buffered:
-                    if not self.window.has_external(u, v):
-                        new_external = (u, v)
-                elif v_buffered and not u_buffered:
-                    if not self.window.has_external(v, u):
-                        new_external = (v, u)
-            landed = self.window.add_edge(u, v)
-            if landed == "internal":
-                self.matcher.on_edge(u, v)
-            elif landed == "external" and new_external is not None:
-                # The buffered endpoint gained an already-placed neighbour.
-                self.assignment.note_edge(*new_external)
+        """Feed one stream event (single-event view of :meth:`process_batch`)."""
+        self.process_batch((event,))
+
+    def process_batch(self, events: Sequence[StreamEvent]) -> tuple[int, int]:
+        """Feed a batch of events in stream order; returns (vertices, edges).
+
+        The only per-event body: edges dominate graph streams so they
+        dispatch first, and the window classifies each edge in a single
+        pass (:meth:`~repro.stream.window.SlidingWindow.route_edge`)
+        instead of the membership-probe / has-external / add sequence.
+        The streaming engine prefers this entry point because it hoists
+        the per-event attribute traffic (window, matcher, router) out of
+        the loop, which is measurable at stream rates.
+        """
+        window = self.window
+        route_edge = window.route_edge
+        on_edge = self.matcher.on_edge
+        note_edge = self.assignment.note_edge
+        assignment_index = self.assignment_index
+        record_label = self._record_label
+        assign_due = self._assign_due
+        vertices = edges = 0
+        for event in events:
+            if isinstance(event, EdgeArrival):
+                edges += 1
+                routed, buffered, placed = route_edge(event.u, event.v)
+                if routed == ROUTE_INTERNAL:
+                    on_edge(event.u, event.v)
+                elif buffered is not None and assignment_index:
+                    note_edge(buffered, placed)
+            elif isinstance(event, VertexArrival):
+                vertices += 1
+                while window.is_full:
+                    assign_due()
+                window.add_vertex(event.vertex, event.label)
+                if record_label is not None:
+                    record_label(event.vertex, event.label)
+            else:
+                edges += 1
+        return vertices, edges
 
     def flush(self) -> None:
         """Assign everything still buffered (end of stream)."""
@@ -216,10 +248,10 @@ class LoomPartitioner:
                     self._assign_single(vertex)
             return
         for vertex in ordered:
-            departed = self.window.remove(vertex)
+            _, _, internal = self.window.expire(vertex)
             self.assignment.assign(vertex, target)
             if self.assignment_index:
-                for neighbour in departed.internal_neighbours:
+                for neighbour in internal:
                     self.assignment.note_edge(neighbour, vertex)
         self.matcher.forget(group)
         self.stats["groups"] += 1
@@ -260,20 +292,17 @@ class LoomPartitioner:
 
     def _assign_single(self, vertex: Vertex) -> None:
         """Plain LDG placement of one vertex against its placed neighbours."""
-        departed = self.window.remove(vertex)
+        label, external, internal = self.window.expire(vertex)
         target = self._single_placer.place(
-            departed.vertex,
-            departed.label,
-            departed.external_neighbours,
-            self.assignment,
+            vertex, label, external, self.assignment
         )
-        self.assignment.assign(departed.vertex, target)
+        self.assignment.assign(vertex, target)
         if self.assignment_index:
             # Buffered neighbours of the now-placed vertex gained a placed
             # neighbour; keep their index vectors current.
-            for neighbour in departed.internal_neighbours:
+            for neighbour in internal:
                 self.assignment.note_edge(neighbour, vertex)
-        self.matcher.forget({vertex})
+        self.matcher.forget((vertex,))
         self.stats["singles"] += 1
 
 

@@ -17,6 +17,25 @@ signatures:
   ``S'`` contains two overlapping ``abc`` instances but is itself not a
   motif).
 
+The hot path is table-driven end to end (this is what the engine
+hot-path benchmark measures against :mod:`repro.bench.legacy`):
+
+* labels are interned to dense ids and every per-edge signature update is
+  one cached *step factor* multiply
+  (:meth:`~repro.signatures.signature.SignatureScheme.edge_step`);
+* matches are keyed by frozensets of compact integer edge ids packed
+  from the window graph's interned vertex slots
+  (:meth:`~repro.graph.labelled.LabelledGraph.edge_id`) and indexed by
+  small integer match ids, so the per-vertex match index is int-set
+  arithmetic with O(1) eviction when the window expires vertices;
+* DAG extension checks probe the parent node's precomputed
+  ``child_steps`` table -- a failed extension costs a small-int dict miss
+  instead of a big-int multiply plus a signature lookup -- and the trie's
+  ``max_motif_edges`` bound rejects oversized regrow extensions before
+  any signature work;
+* ``verify=True`` confirmations are memoised per (node, canonical form)
+  through :class:`~repro.graph.isomorphism.IsomorphismCache`.
+
 Signature matching is non-authoritative; with ``verify=True`` every
 signature hit is confirmed by exact isomorphism against the node's
 representative graph (used by experiment E7 and authoritative mode).
@@ -25,25 +44,43 @@ representative graph (used by experiment E7 and authoritative mode).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 
-from repro.graph.isomorphism import is_isomorphic
-from repro.graph.labelled import Edge, LabelledGraph, Vertex, edge_key
+from repro.graph.isomorphism import IsomorphismCache
+from repro.graph.labelled import Edge, LabelledGraph, Vertex
 from repro.graph.views import edge_subgraph
 from repro.tpstry.node import TPSTryNode
 from repro.tpstry.trie import TPSTryPP
 
-MatchKey = frozenset  # frozenset of canonical edge tuples
+MatchKey = frozenset  # frozenset of packed integer edge ids
+
+_EMPTY_IDS: frozenset[int] = frozenset()
 
 
 @dataclass(frozen=True)
 class MotifMatch:
-    """A buffered sub-graph currently matching a TPSTry++ node."""
+    """A buffered sub-graph currently matching a TPSTry++ node.
 
-    edges: MatchKey
+    ``edge_ids`` is the compact identity (packed endpoint slots of the
+    window graph); :attr:`edges` decodes it to canonical vertex tuples on
+    demand for consumers that build sub-graphs from a match.
+    """
+
+    edge_ids: MatchKey
     vertices: frozenset[Vertex]
     signature: int
     node_signature: int
+    match_id: int = field(compare=False)
+    graph: LabelledGraph = field(compare=False, repr=False)
+    #: Deterministic ordering key (largest match first, then vertex reprs)
+    #: precomputed so assignment-time sorting never calls ``repr`` again.
+    sort_key: tuple = field(compare=False, repr=False)
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        decode = self.graph.edge_from_id
+        return frozenset(decode(eid) for eid in self.edge_ids)
 
     @property
     def size(self) -> int:
@@ -64,6 +101,7 @@ class StreamMotifMatcher:
         frequent_signatures: frozenset[int],
         resignature_fix: bool = True,
         verify: bool = False,
+        timed: bool = False,
     ) -> None:
         self.trie = trie
         self.scheme = trie.scheme
@@ -71,10 +109,30 @@ class StreamMotifMatcher:
         self.frequent_signatures = frequent_signatures
         self.resignature_fix = resignature_fix
         self.verify = verify
-        self._matches: dict[MatchKey, MotifMatch] = {}
-        self._by_vertex: dict[Vertex, set[MatchKey]] = {}
-        #: Diagnostics for the ablation benches.
-        self.stats = {"direct": 0, "extended": 0, "regrown": 0, "rejected": 0}
+        self._iso_cache = IsomorphismCache()
+        #: match key (frozenset of edge ids) -> match id (dedup probe).
+        self._key_to_id: dict[MatchKey, int] = {}
+        #: match id -> match (insertion-ordered; drives ``matches()``).
+        self._match_by_id: dict[int, MotifMatch] = {}
+        #: vertex -> ids of the matches containing it (the match index).
+        self._by_vertex: dict[Vertex, set[int]] = {}
+        self._next_id = 0
+        #: vertex -> interned label id (entries die with the vertex).
+        self._lid: dict[Vertex, int] = {}
+        #: Diagnostics for the ablation benches and the E7 table.
+        self.stats = {
+            "direct": 0,
+            "extended": 0,
+            "regrown": 0,
+            "rejected": 0,
+            "evicted": 0,
+            "verified": 0,
+            "trusted": 0,
+        }
+        #: Per-stage wall-time (seconds) when ``timed`` is on; the
+        #: streaming engine snapshots these through ``stage_seconds``.
+        self.timed = timed
+        self.timings = {"match": 0.0, "extend": 0.0, "regrow": 0.0, "evict": 0.0}
 
     # ------------------------------------------------------------------
     # Event handling
@@ -90,45 +148,108 @@ class StreamMotifMatcher:
         The section-4.3 re-signature pass re-grows a sub-graph from the
         new edge outward and recovers exactly those matches.
         """
+        if self.timed:
+            return self._on_edge_timed(u, v)
         created: list[MotifMatch] = []
-        e = edge_key(u, v)
+        e = self.graph.edge_id(u, v)
+        lid_u = self._label_id(u)
+        lid_v = self._label_id(v)
+        # The two-vertex signature seeds both the direct pair match and
+        # the regrow pass; resolve it (and its node) exactly once.
+        pair_sig = self.scheme.pair_signature(lid_u, lid_v)
+        pair_node = self.trie.node_by_signature(pair_sig)
 
-        pair = self._try_pair(u, v, e)
-        if pair is not None:
-            created.append(pair)
+        if pair_node is not None:
+            pair = self._try_pair(u, v, e, pair_sig, pair_node)
+            if pair is not None:
+                created.append(pair)
 
-        for key in list(self._touching(u) | self._touching(v)):
-            match = self._matches.get(key)
-            if match is None or e in match.edges:
-                continue
-            extended = self._try_extend(match, u, v, e)
-            if extended is not None:
-                created.append(extended)
+        by_vertex = self._by_vertex
+        touching = by_vertex.get(u, _EMPTY_IDS) | by_vertex.get(v, _EMPTY_IDS)
+        if touching:
+            match_by_id = self._match_by_id
+            for mid in touching:
+                match = match_by_id.get(mid)
+                if match is None or e in match.edge_ids:
+                    continue
+                extended = self._try_extend(match, u, v, e, lid_u, lid_v)
+                if extended is not None:
+                    created.append(extended)
 
-        if self.resignature_fix:
-            created.extend(self._regrow(e))
+        if self.resignature_fix and pair_node is not None:
+            created.extend(self._regrow(u, v, e, pair_sig))
         return created
 
-    def _try_pair(self, u: Vertex, v: Vertex, e: Edge) -> MotifMatch | None:
-        key: MatchKey = frozenset({e})
-        if key in self._matches:
+    def _on_edge_timed(self, u: Vertex, v: Vertex) -> list[MotifMatch]:
+        """The instrumented twin of :meth:`on_edge` (stage attribution).
+
+        Deliberately a verbatim copy with clock reads between stages so
+        the untimed hot loop never pays for instrumentation.  Any change
+        to :meth:`on_edge` MUST be mirrored here -- the engine stage-
+        timing tests pin timed and untimed assignments equal.
+        """
+        created: list[MotifMatch] = []
+        e = self.graph.edge_id(u, v)
+        timings = self.timings
+
+        began = perf_counter()
+        lid_u = self._label_id(u)
+        lid_v = self._label_id(v)
+        pair_sig = self.scheme.pair_signature(lid_u, lid_v)
+        pair_node = self.trie.node_by_signature(pair_sig)
+        if pair_node is not None:
+            pair = self._try_pair(u, v, e, pair_sig, pair_node)
+            if pair is not None:
+                created.append(pair)
+        timings["match"] += perf_counter() - began
+
+        began = perf_counter()
+        by_vertex = self._by_vertex
+        touching = by_vertex.get(u, _EMPTY_IDS) | by_vertex.get(v, _EMPTY_IDS)
+        if touching:
+            match_by_id = self._match_by_id
+            for mid in touching:
+                match = match_by_id.get(mid)
+                if match is None or e in match.edge_ids:
+                    continue
+                extended = self._try_extend(match, u, v, e, lid_u, lid_v)
+                if extended is not None:
+                    created.append(extended)
+        timings["extend"] += perf_counter() - began
+
+        if self.resignature_fix and pair_node is not None:
+            began = perf_counter()
+            created.extend(self._regrow(u, v, e, pair_sig))
+            timings["regrow"] += perf_counter() - began
+        return created
+
+    def _label_id(self, vertex: Vertex) -> int:
+        """Interned label id of a buffered vertex, cached per vertex."""
+        lid = self._lid.get(vertex)
+        if lid is None:
+            lid = self.scheme.label_id(self.graph.label(vertex))
+            self._lid[vertex] = lid
+        return lid
+
+    def _try_pair(
+        self, u: Vertex, v: Vertex, e: int, signature: int, node: TPSTryNode
+    ) -> MotifMatch | None:
+        key: MatchKey = frozenset((e,))
+        if key in self._key_to_id:
             return None
-        label_u = self.graph.label(u)
-        label_v = self.graph.label(v)
-        signature = self.scheme.extend_with_edge(
-            self.scheme.vertex_factor(label_u), label_u, label_v,
-            new_endpoint=label_v,
-        )
-        node = self.trie.node_by_signature(signature)
-        if node is None:
-            return None
-        match = self._register(key, frozenset({u, v}), signature, node)
+        match = self._register(key, frozenset((u, v)), signature, node)
         if match is not None:
             self.stats["direct"] += 1
         return match
 
     def _try_extend(
-        self, match: MotifMatch, u: Vertex, v: Vertex, e: Edge
+        self,
+        match: MotifMatch,
+        u: Vertex,
+        v: Vertex,
+        e: int,
+        lid_u: int,
+        lid_v: int,
     ) -> MotifMatch | None:
         """Extend ``match`` with edge ``e`` if the DAG admits it."""
         new_vertex: Vertex | None = None
@@ -136,29 +257,35 @@ class StreamMotifMatcher:
             new_vertex = u
         elif v not in match.vertices:
             new_vertex = v
-        label_u = self.graph.label(u)
-        label_v = self.graph.label(v)
-        signature = self.scheme.extend_with_edge(
-            match.signature,
-            label_u,
-            label_v,
-            new_endpoint=self.graph.label(new_vertex) if new_vertex is not None else None,
-        )
+        if new_vertex is None:
+            step = self.scheme.edge_step(lid_u, lid_v)
+        else:
+            step = self.scheme.edge_step_with_vertex(
+                lid_u, lid_v, lid_u if new_vertex is u else lid_v
+            )
+        parent = self.trie.node_by_signature(match.node_signature)
+        if parent is not None and step not in parent.child_steps:
+            # Not a one-edge extension the workload's queries ever make
+            # (the precomputed step table rejects without signature work).
+            return None
+        signature = match.signature * step
         node = self.trie.node_by_signature(signature)
         if node is None:
             return None
-        parent = self.trie.node_by_signature(match.node_signature)
-        if parent is not None and signature not in parent.children:
-            # Not a one-edge extension the workload's queries ever make.
-            return None
-        key: MatchKey = match.edges | {e}
-        vertices = match.vertices | ({new_vertex} if new_vertex is not None else set())
-        created = self._register(key, frozenset(vertices), signature, node)
+        key: MatchKey = match.edge_ids | {e}
+        vertices = (
+            match.vertices | {new_vertex}
+            if new_vertex is not None
+            else match.vertices
+        )
+        created = self._register(key, vertices, signature, node)
         if created is not None:
             self.stats["extended"] += 1
         return created
 
-    def _regrow(self, seed_edge: Edge) -> list[MotifMatch]:
+    def _regrow(
+        self, u: Vertex, v: Vertex, seed_edge: int, pair_sig: int
+    ) -> list[MotifMatch]:
         """The section-4.3 incremental re-signature procedure.
 
         Starting from the sub-graph consisting of ``seed_edge`` alone, grow
@@ -169,39 +296,48 @@ class StreamMotifMatcher:
         a TPSTry++ node is registered, so the largest motif match
         containing the new edge (possibly none) ends up tracked.
         """
-        u, v = seed_edge
-        label_u, label_v = self.graph.label(u), self.graph.label(v)
-        signature = self.scheme.extend_with_edge(
-            self.scheme.vertex_factor(label_u), label_u, label_v,
-            new_endpoint=label_v,
-        )
-        if self.trie.node_by_signature(signature) is None:
-            return []
+        scheme = self.scheme
+        trie = self.trie
+        node_of = trie.node_by_signature
+        signature = pair_sig            # caller verified it is a trie node
+        max_edges = trie.max_motif_edges
+        stats = self.stats
 
         created: list[MotifMatch] = []
         vertices: set[Vertex] = {u, v}
-        edges: set[Edge] = {seed_edge}
-        queue: deque[Edge] = deque(self._incident_edges(vertices, edges))
+        edges: set[int] = {seed_edge}
+        queue: deque[tuple[int, Vertex, Vertex]] = deque(
+            self._incident_edges(vertices, edges)
+        )
         while queue:
-            candidate = queue.popleft()
-            if candidate in edges:
+            eid, cu, cv = queue.popleft()
+            if eid in edges:
                 continue
-            cu, cv = candidate
-            if cu not in vertices and cv not in vertices:
+            cu_in = cu in vertices
+            cv_in = cv in vertices
+            if not cu_in and not cv_in:
                 continue  # no longer adjacent after discards
-            new_vertex = cu if cu not in vertices else (cv if cv not in vertices else None)
-            extended_sig = self.scheme.extend_with_edge(
-                signature,
-                self.graph.label(cu),
-                self.graph.label(cv),
-                new_endpoint=self.graph.label(new_vertex) if new_vertex is not None else None,
-            )
-            node = self.trie.node_by_signature(extended_sig)
+            if len(edges) >= max_edges:
+                # No motif has this many edges: the extension would be
+                # rejected by the signature lookup; skip the arithmetic.
+                stats["rejected"] += 1
+                continue
+            new_vertex = cu if not cu_in else (cv if not cv_in else None)
+            lid_cu = self._label_id(cu)
+            lid_cv = self._label_id(cv)
+            if new_vertex is None:
+                step = scheme.edge_step(lid_cu, lid_cv)
+            else:
+                step = scheme.edge_step_with_vertex(
+                    lid_cu, lid_cv, lid_cu if new_vertex is cu else lid_cv
+                )
+            extended_sig = signature * step
+            node = node_of(extended_sig)
             if node is None:
-                self.stats["rejected"] += 1
+                stats["rejected"] += 1
                 continue  # discard this edge; don't traverse through it
             signature = extended_sig
-            edges.add(candidate)
+            edges.add(eid)
             if new_vertex is not None:
                 vertices.add(new_vertex)
                 for incident in self._incident_edges({new_vertex}, edges):
@@ -211,18 +347,20 @@ class StreamMotifMatcher:
             )
             if match is not None:
                 created.append(match)
-                self.stats["regrown"] += 1
+                stats["regrown"] += 1
         return created
 
     def _incident_edges(
-        self, vertices: set[Vertex], excluded: set[Edge]
-    ) -> list[Edge]:
-        incident: list[Edge] = []
+        self, vertices: set[Vertex], excluded: set[int]
+    ) -> list[tuple[int, Vertex, Vertex]]:
+        graph = self.graph
+        edge_id = graph.edge_id
+        incident: list[tuple[int, Vertex, Vertex]] = []
         for vertex in sorted(vertices, key=repr):
-            for neighbour in self.graph.sorted_neighbours(vertex):
-                e = edge_key(vertex, neighbour)
-                if e not in excluded:
-                    incident.append(e)
+            for neighbour in graph.sorted_neighbours(vertex):
+                eid = edge_id(vertex, neighbour)
+                if eid not in excluded:
+                    incident.append((eid, vertex, neighbour))
         return incident
 
     # ------------------------------------------------------------------
@@ -235,56 +373,101 @@ class StreamMotifMatcher:
         signature: int,
         node: TPSTryNode,
     ) -> MotifMatch | None:
-        if key in self._matches:
+        if key in self._key_to_id:
             return None
-        if self.verify and not self._verified(key, node):
-            return None
+        if self.verify:
+            if not self._verified(key, node):
+                return None
+            self.stats["verified"] += 1
+        else:
+            self.stats["trusted"] += 1
+        mid = self._next_id
+        self._next_id = mid + 1
         match = MotifMatch(
-            edges=key,
+            edge_ids=key,
             vertices=vertices,
             signature=signature,
             node_signature=node.signature,
+            match_id=mid,
+            graph=self.graph,
+            sort_key=(-len(key), tuple(sorted(map(repr, vertices)))),
         )
-        self._matches[key] = match
+        self._key_to_id[key] = mid
+        self._match_by_id[mid] = match
+        by_vertex = self._by_vertex
         for vertex in vertices:
-            self._by_vertex.setdefault(vertex, set()).add(key)
+            ids = by_vertex.get(vertex)
+            if ids is None:
+                by_vertex[vertex] = {mid}
+            else:
+                ids.add(mid)
         return match
 
     def _verified(self, key: MatchKey, node: TPSTryNode) -> bool:
-        candidate = edge_subgraph(self.graph, key)
-        return is_isomorphic(candidate, node.graph)
-
-    def _touching(self, vertex: Vertex) -> set[MatchKey]:
-        return self._by_vertex.get(vertex, set())
+        candidate = edge_subgraph(self.graph, [
+            self.graph.edge_from_id(eid) for eid in key
+        ])
+        return self._iso_cache.is_isomorphic(
+            candidate, node.graph, reference_key=node.canonical_key()
+        )
 
     def forget(self, vertices: frozenset[Vertex] | set[Vertex]) -> None:
-        """Drop every match touching ``vertices`` (they were assigned)."""
-        doomed: set[MatchKey] = set()
+        """Drop every match touching ``vertices`` (they were assigned).
+
+        O(1) per index entry: the departing vertices' buckets are popped
+        whole, and each doomed match id is discarded from the buckets of
+        its surviving vertices only.
+        """
+        if self.timed:
+            began = perf_counter()
+            self._forget(vertices)
+            self.timings["evict"] += perf_counter() - began
+        else:
+            self._forget(vertices)
+
+    def _forget(self, vertices: frozenset[Vertex] | set[Vertex]) -> None:
+        by_vertex = self._by_vertex
+        lid = self._lid
+        doomed: set[int] = set()
         for vertex in vertices:
-            doomed |= self._by_vertex.pop(vertex, set())
-        for key in doomed:
-            match = self._matches.pop(key, None)
+            ids = by_vertex.pop(vertex, None)
+            if ids:
+                doomed |= ids
+            lid.pop(vertex, None)
+        if not doomed:
+            return
+        key_to_id = self._key_to_id
+        match_by_id = self._match_by_id
+        for mid in doomed:
+            match = match_by_id.pop(mid, None)
             if match is None:
                 continue
+            del key_to_id[match.edge_ids]
             for vertex in match.vertices:
-                keys = self._by_vertex.get(vertex)
-                if keys is not None:
-                    keys.discard(key)
+                ids = by_vertex.get(vertex)
+                if ids is not None:
+                    ids.discard(mid)
+        self.stats["evicted"] += len(doomed)
 
     # ------------------------------------------------------------------
     # Queries used by LOOM's assignment step
     # ------------------------------------------------------------------
     def matches(self) -> list[MotifMatch]:
-        return list(self._matches.values())
+        return list(self._match_by_id.values())
 
     def frequent_matches_containing(self, vertex: Vertex) -> list[MotifMatch]:
         """Matches of *frequent* motifs that contain ``vertex``."""
-        out = []
-        for key in self._touching(vertex):
-            match = self._matches[key]
-            if match.node_signature in self.frequent_signatures:
-                out.append(match)
-        out.sort(key=lambda m: (-len(m.edges), sorted(map(repr, m.vertices))))
+        ids = self._by_vertex.get(vertex)
+        if not ids:
+            return []
+        match_by_id = self._match_by_id
+        frequent = self.frequent_signatures
+        out = [
+            match
+            for match in (match_by_id[mid] for mid in ids)
+            if match.node_signature in frequent
+        ]
+        out.sort(key=lambda m: m.sort_key)
         return out
 
     def assignment_group(
@@ -299,14 +482,17 @@ class StreamMotifMatcher:
         push the group past ``max_size`` are skipped -- the paper's
         acknowledged mitigation for very large connected match sets.
         """
+        first = self.frequent_matches_containing(vertex)
+        if not first:
+            return frozenset((vertex,))
         group: set[Vertex] = {vertex}
-        frontier = deque(self.frequent_matches_containing(vertex))
-        considered: set[MatchKey] = set()
+        frontier = deque(first)
+        considered: set[int] = set()
         while frontier:
             match = frontier.popleft()
-            if match.edges in considered:
+            if match.match_id in considered:
                 continue
-            considered.add(match.edges)
+            considered.add(match.match_id)
             merged = group | match.vertices
             if len(merged) > max_size:
                 continue

@@ -67,6 +67,10 @@ class BatchStats:
     window_occupancy: int | None = None
     groups_total: int | None = None
     singles_total: int | None = None
+    #: Cumulative per-stage wall-time of the partitioner's hot path
+    #: (match/extend/regrow/evict) as of this batch, when the partitioner
+    #: exposes ``stage_seconds`` (LOOM with ``stage_timings`` on).
+    stage_seconds: dict[str, float] | None = None
 
     @property
     def events_per_second(self) -> float:
@@ -84,6 +88,9 @@ class EngineStats:
     seconds: float = 0.0
     batch_size: int = DEFAULT_BATCH_SIZE
     peak_window_occupancy: int = 0
+    #: Final per-stage wall-time snapshot (empty when the partitioner
+    #: does not report stage timings).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -103,6 +110,8 @@ class EngineStats:
             self.peak_window_occupancy = max(
                 self.peak_window_occupancy, batch.window_occupancy
             )
+        if batch.stage_seconds is not None:
+            self.stage_seconds = dict(batch.stage_seconds)
 
 
 StatsHook = Callable[[BatchStats], None]
@@ -208,21 +217,28 @@ class StreamingEngine:
         """Consume the whole stream, flush, and return the assignment."""
         partitioner = self.partitioner
         process = partitioner.process
+        # Partitioners may expose a batched entry point (semantically one
+        # process() per event, with loop overhead amortised); prefer it.
+        process_batch = getattr(partitioner, "process_batch", None)
         window = getattr(partitioner, "window", None)
         loom_stats = getattr(partitioner, "stats", None)
         batch_size = self.batch_size
         total = len(events)
         for index, start in enumerate(range(0, total, batch_size)):
             batch = events[start : start + batch_size]
-            vertices = edges = 0
             began = time.perf_counter()
-            for event in batch:
-                process(event)
-                if isinstance(event, VertexArrival):
-                    vertices += 1
-                else:
-                    edges += 1
+            if process_batch is not None:
+                vertices, edges = process_batch(batch)
+            else:
+                vertices = edges = 0
+                for event in batch:
+                    process(event)
+                    if isinstance(event, VertexArrival):
+                        vertices += 1
+                    else:
+                        edges += 1
             elapsed = time.perf_counter() - began
+            stage_seconds = getattr(partitioner, "stage_seconds", None)
             batch_stats = BatchStats(
                 index=index,
                 events=len(batch),
@@ -241,6 +257,7 @@ class StreamingEngine:
                     if isinstance(loom_stats, dict)
                     else None
                 ),
+                stage_seconds=stage_seconds,
             )
             self.stats.observe(batch_stats)
             for hook in self.hooks:
@@ -248,4 +265,8 @@ class StreamingEngine:
         began = time.perf_counter()
         partitioner.flush()
         self.stats.seconds += time.perf_counter() - began
+        stage_seconds = getattr(partitioner, "stage_seconds", None)
+        if stage_seconds is not None:
+            # Flush evicts the rest of the window; take the final snapshot.
+            self.stats.stage_seconds = dict(stage_seconds)
         return partitioner.assignment

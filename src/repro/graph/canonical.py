@@ -36,48 +36,53 @@ CanonicalForm = tuple
 def _refine_colours(graph: LabelledGraph) -> dict[Vertex, int]:
     """1-WL colour refinement seeded with vertex labels.
 
-    Returns a stable colouring: vertices get equal colours only if labels
-    agree and their neighbourhood colour multisets agree, iterated to a
-    fixed point.
+    Returns a stable colouring whose integer colours are *rank-compressed
+    by value*: each round builds the (colour, sorted neighbour-colour
+    multiset) key per vertex, then renumbers the distinct keys in sorted
+    order.  Because the keys are isomorphism-invariant values and the
+    ranking orders them by value -- never by vertex iteration order -- the
+    resulting colours are identical across isomorphic graphs regardless
+    of vertex insertion order, while staying O(1)-sized per round.  (An
+    earlier version numbered colours through an iteration-ordered
+    palette: two isomorphic graphs could then order tied colour classes
+    differently and disagree on their canonical forms.  Keeping the full
+    nested keys instead would fix that too, but they grow exponentially
+    with refinement depth.)
     """
-    colour: dict[Vertex, int] = {}
-    palette: dict[object, int] = {}
-    for vertex in graph.vertices():
-        key = graph.label(vertex)
-        colour[vertex] = palette.setdefault(key, len(palette))
-
+    vertices = list(graph.vertices())
+    palette = {
+        label: rank
+        for rank, label in enumerate(sorted({graph.label(v) for v in vertices}))
+    }
+    colour: dict[Vertex, int] = {v: palette[graph.label(v)] for v in vertices}
+    distinct = len(palette)
     while True:
-        new_palette: dict[object, int] = {}
-        new_colour: dict[Vertex, int] = {}
-        for vertex in graph.vertices():
-            neighbourhood = tuple(
-                sorted(colour[n] for n in graph.neighbours(vertex))
-            )
-            key = (colour[vertex], neighbourhood)
-            new_colour[vertex] = new_palette.setdefault(key, len(new_palette))
-        if len(new_palette) == len(set(colour.values())):
-            return new_colour
-        colour = new_colour
+        keys = {
+            v: (colour[v], tuple(sorted(colour[n] for n in graph.neighbours(v))))
+            for v in vertices
+        }
+        palette = {
+            key: rank for rank, key in enumerate(sorted(set(keys.values())))
+        }
+        if len(palette) == distinct:
+            return colour
+        colour = {v: palette[keys[v]] for v in vertices}
+        distinct = len(palette)
 
 
 def _orderings(graph: LabelledGraph, colour: dict[Vertex, int]):
     """Yield vertex orderings consistent with the refined colour classes.
 
-    Classes are sorted by (colour-class invariant, size); only permutations
-    *within* a class are enumerated, which keeps the search tiny whenever
-    refinement separates the vertices well.
+    Classes are sorted by their (isomorphism-invariant) colour ranks;
+    only permutations *within* a class are enumerated, which keeps the
+    search tiny whenever refinement separates the vertices well.
     """
     classes: dict[int, list[Vertex]] = {}
-    for vertex, c in colour.items():
-        classes.setdefault(c, []).append(vertex)
-
-    def class_invariant(c: int) -> tuple:
-        representative = classes[c][0]
-        return (graph.label(representative), graph.degree(representative), c)
+    for vertex, rank in colour.items():
+        classes.setdefault(rank, []).append(vertex)
 
     ordered_classes = [
-        sorted(classes[c], key=repr)
-        for c in sorted(classes, key=class_invariant)
+        sorted(classes[rank], key=repr) for rank in sorted(classes)
     ]
 
     total = 1

@@ -203,6 +203,36 @@ class LabelledGraph:
                 return vertex
         raise VertexNotFoundError(index)
 
+    #: Slot width of packed edge ids (:meth:`edge_id`).
+    _EDGE_ID_SHIFT = 32
+
+    def edge_id(self, u: Vertex, v: Vertex) -> int:
+        """Compact integer id of the edge ``{u, v}``: both endpoint slots
+        packed into one int, smaller slot high.
+
+        Stable while both endpoints live (slots only recycle after vertex
+        removal), symmetric (``edge_id(u, v) == edge_id(v, u)``) and unique
+        among live edges -- the motif matcher keys its match index by these
+        instead of canonical vertex-tuple pairs.  The edge itself need not
+        exist; endpoints must.
+        """
+        try:
+            iu = self._index_of[u]
+            iv = self._index_of[v]
+        except KeyError:
+            missing = u if u not in self._index_of else v
+            raise VertexNotFoundError(missing) from None
+        if iu > iv:
+            iu, iv = iv, iu
+        return (iu << self._EDGE_ID_SHIFT) | iv
+
+    def edge_from_id(self, eid: int) -> Edge:
+        """Decode :meth:`edge_id` back to the canonical edge tuple."""
+        return edge_key(
+            self.vertex_at(eid >> self._EDGE_ID_SHIFT),
+            self.vertex_at(eid & ((1 << self._EDGE_ID_SHIFT) - 1)),
+        )
+
     # ------------------------------------------------------------------
     # Vertices
     # ------------------------------------------------------------------

@@ -27,6 +27,15 @@ from dataclasses import dataclass, field
 from repro.exceptions import StreamError
 from repro.graph.labelled import Label, LabelledGraph, Vertex
 
+#: Route codes returned by :meth:`SlidingWindow.route_edge`.
+ROUTE_INTERNAL = 0
+ROUTE_EXTERNAL = 1
+ROUTE_DEPARTED = 2
+
+_INTERNAL = (ROUTE_INTERNAL, None, None)
+_EXTERNAL_DUP = (ROUTE_EXTERNAL, None, None)
+_DEPARTED = (ROUTE_DEPARTED, None, None)
+
 
 @dataclass(frozen=True, slots=True)
 class WindowedVertex:
@@ -70,7 +79,7 @@ class SlidingWindow:
         """Buffer a newly arrived vertex.  The caller must make room first
         (:meth:`is_full` / :meth:`evict_oldest`): an over-full window would
         silently change LOOM's assignment order."""
-        if self.is_full:
+        if len(self._arrivals) >= self.capacity:
             raise StreamError(f"window full (capacity {self.capacity})")
         if vertex in self._arrivals:
             raise StreamError(f"vertex {vertex!r} already buffered")
@@ -89,18 +98,41 @@ class SlidingWindow:
         when motif grouping removed them early); nothing to buffer, the
         edge can no longer influence assignment.
         """
-        u_in = u in self._arrivals
-        v_in = v in self._arrivals
-        if u_in and v_in:
-            self.graph.add_edge(u, v)
+        code = self.route_edge(u, v)[0]
+        if code == ROUTE_INTERNAL:
             return "internal"
-        if u_in:
-            self._external[u].add(v)
-            return "external"
-        if v_in:
-            self._external[v].add(u)
-            return "external"
-        return "departed"
+        return "external" if code == ROUTE_EXTERNAL else "departed"
+
+    def route_edge(
+        self, u: Vertex, v: Vertex
+    ) -> tuple[int, Vertex | None, Vertex | None]:
+        """Single-pass :meth:`add_edge` with new-external detection.
+
+        Returns ``(code, buffered, placed)`` where ``code`` is one of the
+        ``ROUTE_*`` constants and ``buffered``/``placed`` are the endpoint
+        pair of a *newly recorded* external edge (``None`` otherwise --
+        including re-observed external edges, which the external sets
+        deduplicate).  Equivalent to the membership checks + ``add_edge``
+        sequence the LOOM driver used to make, in one pass over the
+        window's hash tables: this is executed once per streamed edge.
+        """
+        arrivals = self._arrivals
+        if u in arrivals:
+            if v in arrivals:
+                self.graph.add_edge(u, v)
+                return _INTERNAL
+            bucket = self._external[u]
+            if v in bucket:
+                return _EXTERNAL_DUP
+            bucket.add(v)
+            return (ROUTE_EXTERNAL, u, v)
+        if v in arrivals:
+            bucket = self._external[v]
+            if u in bucket:
+                return _EXTERNAL_DUP
+            bucket.add(u)
+            return (ROUTE_EXTERNAL, v, u)
+        return _DEPARTED
 
     # ------------------------------------------------------------------
     # Departure
@@ -122,21 +154,37 @@ class SlidingWindow:
         Buffered neighbours of the departing vertex see it move to their
         external (already-placed) set.
         """
-        if vertex not in self._arrivals:
-            raise StreamError(f"vertex {vertex!r} not buffered")
-        internal = self.graph.neighbours(vertex)
-        external = frozenset(self._external.pop(vertex))
-        departed = WindowedVertex(
+        label, external, internal = self.expire(vertex)
+        return WindowedVertex(
             vertex=vertex,
-            label=self.graph.label(vertex),
-            external_neighbours=external,
+            label=label,
+            external_neighbours=frozenset(external),
             internal_neighbours=internal,
         )
+
+    def expire(
+        self, vertex: Vertex
+    ) -> tuple[Label, set[Vertex], frozenset[Vertex]]:
+        """Allocation-lean :meth:`remove`: the assignment hot path.
+
+        Returns ``(label, external_neighbours, internal_neighbours)``.
+        Ownership of the external set transfers to the caller (the window
+        drops its reference), so no departure record or defensive copy is
+        built -- LOOM expires one vertex per stream event and only ever
+        reads these three fields.
+        """
+        if vertex not in self._arrivals:
+            raise StreamError(f"vertex {vertex!r} not buffered")
+        graph = self.graph
+        internal = graph.neighbours(vertex)
+        external = self._external.pop(vertex)
+        label = graph.label(vertex)
+        buckets = self._external
         for neighbour in internal:
-            self._external[neighbour].add(vertex)
-        self.graph.remove_vertex(vertex)
+            buckets[neighbour].add(vertex)
+        graph.remove_vertex(vertex)
         del self._arrivals[vertex]
-        return departed
+        return label, external, internal
 
     def drain(self) -> list[WindowedVertex]:
         """Evict everything, oldest first (end-of-stream flush)."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.graph.canonical import canonical_form
 from repro.graph.labelled import LabelledGraph
 
 
@@ -28,6 +29,14 @@ class TPSTryNode:
     ``children`` / ``parents``
         Signatures of one-edge extensions / reductions -- the DAG edges.
         The matcher walks ``children`` as stream edges arrive.
+    ``child_steps``
+        Precomputed lookup table over the same DAG edges, keyed by the
+        *step factor* ``child_signature // signature`` (the exact integer
+        quotient -- the product of primes one edge contributes).  The
+        stream matcher computes the step of an arriving edge from its
+        labels and probes this table, so a failed extension check costs
+        one small-int dict miss instead of a big-int multiply plus a
+        signature-table probe.
     """
 
     signature: int
@@ -36,6 +45,15 @@ class TPSTryNode:
     support: float = 0.0
     children: set[int] = field(default_factory=set)
     parents: set[int] = field(default_factory=set)
+    child_steps: dict[int, int] = field(default_factory=dict)
+    #: Lazily computed canonical certificate (verify-mode memo key).
+    _canonical: tuple | None = field(default=None, repr=False, compare=False)
+
+    def canonical_key(self) -> tuple:
+        """Canonical form of the motif graph, computed once per node."""
+        if self._canonical is None:
+            self._canonical = canonical_form(self.graph)
+        return self._canonical
 
     @property
     def num_vertices(self) -> int:

@@ -49,6 +49,12 @@ class TPSTryPP:
         self.authoritative = authoritative
         self._nodes: dict[object, TPSTryNode] = {}
         self._key_by_signature: dict[int, object] = {}
+        #: Mirror of ``_key_by_signature`` resolved to the node itself, so
+        #: the stream matcher's per-event lookup is a single dict probe.
+        self._node_by_signature: dict[int, TPSTryNode] = {}
+        #: Largest edge count over all nodes (0 when empty); lets the
+        #: matcher reject oversized extensions without signature work.
+        self._max_edges: int = 0
         self._query_frequencies: dict[str, float] = {}
         #: Node keys contributed by each query, for removal support.
         self._query_nodes: dict[str, set[object]] = {}
@@ -127,7 +133,9 @@ class TPSTryPP:
         for parent_sig in node.parents:
             parent_key = self._key_by_signature.get(parent_sig)
             if parent_key is not None and parent_key in self._nodes:
-                self._nodes[parent_key].children.discard(node.signature)
+                parent = self._nodes[parent_key]
+                parent.children.discard(node.signature)
+                parent.child_steps.pop(node.signature // parent.signature, None)
         for child_sig in node.children:
             child_key = self._key_by_signature.get(child_sig)
             if child_key is not None and child_key in self._nodes:
@@ -135,6 +143,11 @@ class TPSTryPP:
         del self._nodes[key]
         if self._key_by_signature.get(node.signature) == key:
             del self._key_by_signature[node.signature]
+            del self._node_by_signature[node.signature]
+        if node.num_edges >= self._max_edges:
+            self._max_edges = max(
+                (n.num_edges for n in self._nodes.values()), default=0
+            )
 
     def _register(self, graph: LabelledGraph, query: PatternQuery) -> object:
         signature = self.scheme.signature_of(graph)
@@ -150,6 +163,9 @@ class TPSTryPP:
                 self.collisions.append((existing_key, key))
             else:
                 self._key_by_signature[signature] = key
+                self._node_by_signature[signature] = node
+            if graph.num_edges > self._max_edges:
+                self._max_edges = graph.num_edges
         if query.name not in node.queries:
             node.queries.add(query.name)
             node.support += query.frequency
@@ -163,6 +179,16 @@ class TPSTryPP:
             return
         parent.children.add(child.signature)
         child.parents.add(parent.signature)
+        # A DAG edge always joins a motif to a one-element extension, so
+        # the quotient is exact: the step factor the added edge (and
+        # possibly its new endpoint) multiplied into the signature.
+        step, remainder = divmod(child.signature, parent.signature)
+        if remainder:
+            raise WorkloadError(
+                "TPSTry++ link between non-nested signatures "
+                f"({parent.signature} -> {child.signature})"
+            )
+        parent.child_steps[step] = child.signature
 
     # ------------------------------------------------------------------
     # Queries over the DAG
@@ -177,9 +203,18 @@ class TPSTryPP:
         return node.support / total if total else 0.0
 
     def node_by_signature(self, signature: int) -> TPSTryNode | None:
-        """Resolve a stream sub-graph's signature to a motif node."""
-        key = self._key_by_signature.get(signature)
-        return self._nodes.get(key) if key is not None else None
+        """Resolve a stream sub-graph's signature to a motif node.
+
+        Served from a signature -> node hash table maintained alongside
+        the node registry: one dict probe on the matcher's hot path.
+        """
+        return self._node_by_signature.get(signature)
+
+    @property
+    def max_motif_edges(self) -> int:
+        """Edge count of the largest motif -- a free size pre-filter: a
+        stream sub-graph with more edges can never match any node."""
+        return self._max_edges
 
     def child_signatures(self, node: TPSTryNode) -> frozenset[int]:
         return frozenset(node.children)

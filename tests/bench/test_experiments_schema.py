@@ -22,7 +22,8 @@ EXPECTED_COLUMNS = {
         ["pairs", "isomorphic_pairs", "signature_equal_pairs", "collisions",
          "collision_rate", "max_signature_bits"],
         ["queries", "max_query_size", "nodes", "build_seconds"],
-        ["matches_checked", "verified", "precision"],
+        ["matches_checked", "verified", "precision",
+         "trusted_hits", "verified_hits", "evictions"],
     ],
     "E8": [["graph", "query", "method", "remote_per_query", "local_rate",
             "cost"]],

@@ -1,0 +1,44 @@
+"""The BENCH baseline diff (perf trajectory across PRs)."""
+
+import pytest
+
+from repro.bench.runner import SCHEMA, diff_bench, load_bench_json, write_bench_json
+
+
+def payload(seconds_by_id, hotpath=None):
+    out = {
+        "schema": SCHEMA,
+        "experiments": {
+            eid: {"title": eid, "seconds": seconds, "tables": 1}
+            for eid, seconds in seconds_by_id.items()
+        },
+    }
+    if hotpath is not None:
+        out["hotpath"] = hotpath
+    return out
+
+
+def test_diff_reports_delta_and_ratio():
+    current = payload({"E1": 0.5}, hotpath={"loom_speedup": 1.5})
+    baseline = payload({"E1": 1.0}, hotpath={"loom_speedup": 1.0})
+    lines = diff_bench(current, baseline)
+    assert any("E1" in line and "2.00x" in line and "-0.500s" in line
+               for line in lines)
+    assert any("loom_speedup: 1.5x vs 1.0x" in line for line in lines)
+
+
+def test_diff_handles_missing_baseline_experiment():
+    lines = diff_bench(payload({"E9": 0.1}), payload({}))
+    assert lines == ["E9      0.100s (no baseline)"]
+
+
+def test_round_trip_and_schema_check(tmp_path):
+    target = tmp_path / "bench.json"
+    write_bench_json(target, payload({"E1": 0.25}))
+    loaded = load_bench_json(target)
+    assert loaded["experiments"]["E1"]["seconds"] == 0.25
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "other/v0", "experiments": {}}')
+    with pytest.raises(ValueError):
+        load_bench_json(bad)

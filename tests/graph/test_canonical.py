@@ -39,6 +39,24 @@ class TestCanonicalBasics:
             LabelledGraph.path("abd")
         )
 
+    def test_insertion_order_of_tied_classes(self):
+        """Regression: the path b-a-b-b has two colour classes sharing
+        (label, degree) -- degree-1 ``b`` next to ``a`` vs next to ``b``.
+        Class order must come from the refinement keys themselves, never
+        from an iteration-ordered palette, or vertex insertion order
+        changes the form."""
+        labels = {0: "b", 1: "a", 2: "b", 3: "b"}
+        edges = [(0, 1), (1, 2), (2, 3)]
+        forms = set()
+        for order in [(0, 1, 2, 3), (1, 2, 3, 0), (3, 2, 1, 0), (2, 0, 3, 1)]:
+            graph = LabelledGraph()
+            for vertex in order:
+                graph.add_vertex(vertex, labels[vertex])
+            for u, v in edges:
+                graph.add_edge(u, v)
+            forms.add(canonical_form(graph))
+        assert len(forms) == 1
+
     def test_path_vs_cycle_differ(self):
         assert canonical_form(LabelledGraph.path("abca")) != canonical_form(
             LabelledGraph.cycle("abca")

@@ -1,0 +1,52 @@
+"""Packed integer edge ids on the indexed adjacency core."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labelled import LabelledGraph, edge_key
+
+
+def build():
+    graph = LabelledGraph()
+    for vertex, label in [(1, "a"), (2, "b"), ("x", "c")]:
+        graph.add_vertex(vertex, label)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, "x")
+    return graph
+
+
+def test_edge_id_symmetric_and_distinct():
+    graph = build()
+    assert graph.edge_id(1, 2) == graph.edge_id(2, 1)
+    assert graph.edge_id(1, 2) != graph.edge_id(2, "x")
+
+
+def test_edge_from_id_round_trips_to_canonical_tuple():
+    graph = build()
+    for u, v in [(1, 2), (2, "x")]:
+        assert graph.edge_from_id(graph.edge_id(u, v)) == edge_key(u, v)
+
+
+def test_edge_id_requires_live_endpoints():
+    graph = build()
+    with pytest.raises(VertexNotFoundError):
+        graph.edge_id(1, 99)
+
+
+def test_edge_id_valid_for_nonexistent_edge_between_live_vertices():
+    # The matcher probes candidate edges before they exist in the graph.
+    graph = build()
+    eid = graph.edge_id(1, "x")
+    assert graph.edge_from_id(eid) == edge_key(1, "x")
+
+
+def test_slot_reuse_changes_nothing_for_live_matches():
+    """An edge id stays decodable while both endpoints live, and a
+    recycled slot mints ids for the new vertex, not the departed one."""
+    graph = build()
+    old = graph.edge_id(1, 2)
+    graph.remove_vertex("x")
+    graph.add_vertex("y", "d")      # recycles x's slot
+    graph.add_edge(2, "y")
+    assert graph.edge_from_id(old) == edge_key(1, 2)
+    assert graph.edge_from_id(graph.edge_id(2, "y")) == edge_key(2, "y")

@@ -1,0 +1,77 @@
+"""The interned fast path must agree exactly with the generic scheme API."""
+
+import random
+
+from repro.graph.labelled import LabelledGraph
+from repro.signatures.signature import SignatureScheme
+
+
+def test_label_ids_are_dense_and_stable():
+    scheme = SignatureScheme()
+    ids = [scheme.label_id(label) for label in "cab"]
+    assert ids == [0, 1, 2]
+    assert [scheme.label_id(label) for label in "cab"] == ids
+
+
+def test_vertex_factor_by_id_matches_label_lookup():
+    scheme = SignatureScheme()
+    for label in "abcd":
+        lid = scheme.label_id(label)
+        assert scheme.vertex_factor_by_id(lid) == scheme.vertex_factor(label)
+
+
+def test_edge_step_equals_edge_factor_and_is_symmetric():
+    scheme = SignatureScheme()
+    a, b = scheme.label_id("a"), scheme.label_id("b")
+    assert scheme.edge_step(a, b) == scheme.edge_factor("a", "b")
+    assert scheme.edge_step(a, b) == scheme.edge_step(b, a)
+
+
+def test_edge_step_with_vertex_is_the_extend_product():
+    scheme = SignatureScheme()
+    a, b = scheme.label_id("a"), scheme.label_id("b")
+    assert scheme.edge_step_with_vertex(a, b, b) == (
+        scheme.edge_factor("a", "b") * scheme.vertex_factor("b")
+    )
+
+
+def test_pair_signature_matches_generic_construction():
+    scheme = SignatureScheme()
+    a, b = scheme.label_id("a"), scheme.label_id("b")
+    generic = scheme.extend_with_edge(
+        scheme.vertex_factor("a"), "a", "b", new_endpoint="b"
+    )
+    assert scheme.pair_signature(a, b) == generic
+
+
+def test_interned_incremental_signature_equals_batch(seed=7):
+    """Random graphs: step-by-step interned products == signature_of."""
+    rng = random.Random(seed)
+    scheme = SignatureScheme()
+    scheme.register_alphabet("abcd")
+    for _ in range(30):
+        n = rng.randint(2, 7)
+        graph = LabelledGraph()
+        for v in range(n):
+            graph.add_vertex(v, rng.choice("abcd"))
+        for v in range(1, n):
+            graph.add_edge(v, rng.randrange(v))
+        signature = 1
+        for v in graph.vertices():
+            signature *= scheme.vertex_factor_by_id(
+                scheme.label_id(graph.label(v))
+            )
+        for u, v in graph.edges():
+            signature *= scheme.edge_step(
+                scheme.label_id(graph.label(u)),
+                scheme.label_id(graph.label(v)),
+            )
+        assert signature == scheme.signature_of(graph)
+
+
+def test_without_edge_factors_step_is_endpoint_product():
+    scheme = SignatureScheme(include_edge_factors=False)
+    a, b = scheme.label_id("a"), scheme.label_id("b")
+    assert scheme.edge_step(a, b) == (
+        scheme.vertex_factor("a") * scheme.vertex_factor("b")
+    )

@@ -1,0 +1,85 @@
+"""TPSTry++ precomputed lookup tables stay consistent with the DAG."""
+
+from repro.graph.labelled import LabelledGraph
+from repro.signatures.signature import SignatureScheme
+from repro.tpstry.trie import StreamingTPSTry, TPSTryPP
+from repro.workload import PatternQuery, Workload
+
+
+def abc_trie():
+    workload = Workload(
+        [
+            PatternQuery("abc", LabelledGraph.path("abc"), 2.0),
+            PatternQuery("abcd", LabelledGraph.path("abcd"), 1.0),
+        ]
+    )
+    return TPSTryPP.from_workload(workload)
+
+
+def test_child_steps_mirror_children():
+    trie = abc_trie()
+    for node in trie.nodes():
+        assert set(node.child_steps.values()) == node.children
+        for step, child_sig in node.child_steps.items():
+            assert node.signature * step == child_sig
+
+
+def test_child_step_probe_resolves_extension():
+    """A one-edge extension's step factor hits the parent's table."""
+    trie = abc_trie()
+    scheme = trie.scheme
+    a, b, c = (scheme.label_id(x) for x in "abc")
+    ab_sig = scheme.pair_signature(a, b)
+    parent = trie.node_by_signature(ab_sig)
+    assert parent is not None
+    step = scheme.edge_step_with_vertex(b, c, c)   # extend a-b by b-c
+    assert step in parent.child_steps
+    child = trie.node_by_signature(parent.child_steps[step])
+    assert child is not None and child.num_edges == 2
+
+
+def test_node_by_signature_single_probe_table_tracks_removal():
+    window = StreamingTPSTry(window=1)
+    abc = PatternQuery("abc", LabelledGraph.path("abc"))
+    ab = PatternQuery("ab", LabelledGraph.path("ab"))
+    window.observe(abc)
+    scheme = window.trie.scheme
+    a, b = scheme.label_id("a"), scheme.label_id("b")
+    abc_sig = scheme.pair_signature(a, b) * scheme.edge_step_with_vertex(
+        b, scheme.label_id("c"), scheme.label_id("c")
+    )
+    assert window.trie.node_by_signature(abc_sig) is not None
+    window.observe(ab)                 # expires abc from the window
+    assert window.trie.node_by_signature(abc_sig) is None
+    # Surviving nodes (a, b, a-b) still resolve, and their step tables
+    # no longer point at the dropped 2-edge motif.
+    ab_sig = scheme.pair_signature(a, b)
+    node = window.trie.node_by_signature(ab_sig)
+    assert node is not None
+    assert not node.child_steps
+
+
+def test_max_motif_edges_tracks_additions_and_removals():
+    window = StreamingTPSTry(window=1)
+    assert window.trie.max_motif_edges == 0
+    window.observe(PatternQuery("abcd", LabelledGraph.path("abcd")))
+    assert window.trie.max_motif_edges == 3
+    window.observe(PatternQuery("ab", LabelledGraph.path("ab")))
+    assert window.trie.max_motif_edges == 1
+
+
+def test_shared_scheme_tables_agree_across_tries():
+    scheme = SignatureScheme()
+    first = TPSTryPP.from_workload(
+        Workload([PatternQuery("abc", LabelledGraph.path("abc"))]),
+        scheme=scheme,
+    )
+    second = TPSTryPP.from_workload(
+        Workload([PatternQuery("cba", LabelledGraph.path("cba"))]),
+        scheme=scheme,
+    )
+    # Same motif shape -> same signature in both DAGs.
+    a, b = scheme.label_id("a"), scheme.label_id("b")
+    sig = scheme.pair_signature(a, b)
+    assert first.node_by_signature(sig) is not None
+    assert second.node_by_signature(sig) is not None
