@@ -6,7 +6,6 @@ path-shaped motifs raises the traversal probability on a square-heavy
 workload -- the justification for the DAG generalisation (section 4.2).
 """
 
-from conftest import rows_by
 
 
 def test_a3_dag_vs_path_trie(run_and_show):

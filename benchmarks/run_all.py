@@ -4,11 +4,11 @@
 Equivalent to ``loom-repro bench``.  Times every experiment the
 ``bench_*`` pytest files wrap (fast mode by default, like the pytest
 suite) plus the engine hot-path microbenchmark, then writes
-``BENCH_PR2.json``::
+``BENCH_PR3.json``::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR3.json]
                                                 [--seed 0] [--full]
-                                                [--baseline BENCH_PR1.json]
+                                                [--baseline BENCH_PR2.json]
 
 ``--baseline`` prints per-experiment wall-time deltas against a prior
 BENCH file (same ``loom-repro/bench/v1`` schema), making the perf
@@ -33,7 +33,7 @@ from repro.bench.runner import (  # noqa: E402
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument("--out", default="BENCH_PR3.json")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--full", action="store_true",

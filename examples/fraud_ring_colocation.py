@@ -7,7 +7,8 @@ every sweep pays network round-trips.
 
 This example measures *ring integrity*: the fraction of planted rings
 whose account/device/card vertices all landed in a single partition, and
-connects it to the workload metric.
+connects it to the workload metric.  Each method gets its own
+:mod:`repro.api` cluster session over the same random stream.
 
 Run with::
 
@@ -16,8 +17,7 @@ Run with::
 
 import random
 
-from repro import DistributedGraphStore, run_workload, stream_from_graph
-from repro.bench.harness import partition_with
+from repro import Cluster, ClusterConfig, stream_from_graph
 from repro.bench.tables import Table
 from repro.datasets import fraud_network, fraud_workload
 
@@ -52,23 +52,26 @@ def main() -> None:
     )
 
     for method in ("hash", "ldg", "loom"):
-        result = partition_with(
-            method, graph, events, k=8, workload=workload,
-            window_size=256, motif_threshold=0.2,
+        session = Cluster.open(
+            ClusterConfig(
+                partitions=8, method=method, window_size=256,
+                motif_threshold=0.2,
+            ),
+            workload=workload,
         )
+        session.ingest(events, graph=graph)
         intact = 0
         for ring in range(N_RINGS):
             partitions = {
-                result.assignment.partition_of(v) for v in ring_vertices(ring)
+                session.partition_of(v) for v in ring_vertices(ring)
             }
             intact += len(partitions) == 1
-        store = DistributedGraphStore(graph, result.assignment)
-        stats = run_workload(store, workload, executions=150, rng=random.Random(13))
+        report = session.run_workload(executions=150, rng=random.Random(13))
         table.add_row(
             method=method,
             rings_intact=f"{intact}/{N_RINGS}",
-            p_remote=stats.remote_probability,
-            local_rate=stats.fully_local_rate,
+            p_remote=report.remote_probability,
+            local_rate=report.fully_local_rate,
         )
 
     print()

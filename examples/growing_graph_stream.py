@@ -4,7 +4,7 @@ Two streaming aspects of the paper at once:
 
 * the *graph* side -- a preferential-attachment growth stream (vertices
   and edges arrive as a social network grows; section 3.1's "stochastic
-  process"), partitioned online by LOOM;
+  process"), ingested online by a LOOM cluster session;
 * the *workload* side -- a :class:`~repro.tpstry.StreamingTPSTry` window
   over the query stream, so the frequent-motif summary follows the
   workload as it drifts (section 4.2: "continuously summarise the
@@ -21,17 +21,14 @@ Run with::
 import random
 
 from repro import (
+    Cluster,
+    ClusterConfig,
     LabelledGraph,
-    LoomConfig,
-    LoomPartitioner,
     PatternQuery,
     StreamingTPSTry,
     Workload,
     growth_stream,
 )
-from repro.partitioning import normalised_max_load
-from repro.partitioning.base import default_capacity
-from repro.stream.sources import replay
 
 
 def motif_names(summary: StreamingTPSTry, threshold: float) -> list[str]:
@@ -61,7 +58,7 @@ def main() -> None:
         summary.observe(square if rng.random() < 0.9 else abc)
     print("  frequent motifs:", motif_names(summary, 0.5))
 
-    # --- partition a growth stream online ------------------------------
+    # --- ingest a growth stream online ----------------------------------
     n = 600
     events = growth_stream(n, 2, rng=random.Random(34))
     workload = Workload(
@@ -70,24 +67,24 @@ def main() -> None:
             PatternQuery("ab", LabelledGraph.path("ab"), 1.0),
         ]
     )
-    k = 8
-    config = LoomConfig(
-        k=k,
-        capacity=default_capacity(n, k, 1.2),
-        window_size=128,
-        motif_threshold=0.2,
+    session = Cluster.open(
+        ClusterConfig(
+            partitions=8, method="loom", window_size=128,
+            motif_threshold=0.2, slack=1.2,
+        ),
+        workload=workload,
     )
-    loom = LoomPartitioner(workload, config)
-    for event in events:
-        loom.process(event)        # purely online: no global introspection
-    loom.flush()
+    # Purely online: the session's store and assignment are maintained
+    # batch by batch as the stream arrives, never rebuilt at the end.
+    session.ingest(events)
+    stats = session.stats()
+    groups = stats.partitioner_counters or {}
 
-    graph = replay(events)
-    print(f"\ngrowth stream: {graph}")
-    print(f"assigned     : {loom.assignment.num_assigned} vertices")
-    print(f"balance rho  : {normalised_max_load(loom.assignment):.3f}")
-    print(f"motif groups : {loom.stats['groups']} "
-          f"({loom.stats['group_vertices']} vertices placed as groups)")
+    print(f"\ngrowth stream: {session.graph}")
+    print(f"assigned     : {stats.assigned} vertices")
+    print(f"balance rho  : {stats.max_load:.3f}")
+    print(f"motif groups : {groups.get('groups', 0)} "
+          f"({groups.get('group_vertices', 0)} vertices placed as groups)")
 
 
 if __name__ == "__main__":

@@ -4,8 +4,9 @@ Section 3.1 of the paper classifies graph-stream orderings (random,
 adversarial, stochastic BFS/DFS-style) and notes that streaming heuristics
 are sensitive to them; section 5 promises an evaluation "in the presence
 of a number of different graph-stream orderings".  This study runs that
-evaluation on a motif-planted graph and renders both the structural metric
-(edge cut) and the paper's workload metric as ASCII charts.
+evaluation on a motif-planted graph -- one :mod:`repro.api` session per
+(ordering, method) cell -- and renders both the structural metric (edge
+cut) and the paper's workload metric as ASCII charts.
 
 Run with::
 
@@ -14,8 +15,7 @@ Run with::
 
 import random
 
-from repro import DistributedGraphStore, LabelledGraph, run_workload, stream_from_graph
-from repro.bench.harness import partition_with
+from repro import Cluster, ClusterConfig, LabelledGraph, stream_from_graph
 from repro.bench.tables import Table, ascii_bar_chart
 from repro.graph.generators import plant_motifs
 from repro.workload import PatternQuery, Workload
@@ -50,15 +50,18 @@ def main() -> None:
         events = stream_from_graph(graph, ordering=ordering, rng=random.Random(22))
         row: dict[str, object] = {"ordering": ordering}
         for method in METHODS:
-            result = partition_with(
-                method, graph, events, k=8, workload=workload,
-                window_size=192, motif_threshold=0.2,
+            session = Cluster.open(
+                ClusterConfig(
+                    partitions=8, method=method, window_size=192,
+                    motif_threshold=0.2, ordering=ordering,
+                ),
+                workload=workload,
             )
-            store = DistributedGraphStore(graph, result.assignment)
-            stats = run_workload(
-                store, workload, executions=120, rng=random.Random(23)
+            session.ingest(events, graph=graph)
+            report = session.run_workload(
+                executions=120, rng=random.Random(23)
             )
-            row[method] = stats.remote_probability
+            row[method] = report.remote_probability
         loom_by_ordering.append(row["loom"])
         ldg_by_ordering.append(row["ldg"])
         table.add_row(**row)

@@ -1,13 +1,14 @@
 """Quickstart: partition the paper's figure-1 graph with LOOM.
 
-Reproduces the paper's running example end to end:
+Reproduces the paper's running example end to end, through the public
+session façade (:mod:`repro.api`):
 
 1. build the figure-1 data graph ``G`` and workload ``Q = {q1, q2, q3}``;
 2. summarise Q's frequent motifs in a TPSTry++;
-3. replay G as a random-order stream and partition it with hash, LDG and
-   LOOM;
-4. execute the workload against each partitioning and report the paper's
-   quality metric -- the probability that a traversal crosses partitions.
+3. open one cluster session per method (hash, LDG, LOOM), ingest the
+   same random-order stream, and
+4. run the workload against each cluster and report the paper's quality
+   metric -- the probability that a traversal crosses partitions.
 
 Run with::
 
@@ -16,17 +17,7 @@ Run with::
 
 import random
 
-from repro import (
-    DistributedGraphStore,
-    LoomConfig,
-    LoomPartitioner,
-    figure1_graph,
-    figure1_workload,
-    run_workload,
-    stream_from_graph,
-)
-from repro.bench.harness import partition_with
-from repro.partitioning import edge_cut_fraction
+from repro import Cluster, ClusterConfig, figure1_graph, figure1_workload, stream_from_graph
 from repro.tpstry import TPSTryPP
 
 
@@ -51,22 +42,23 @@ def main() -> None:
             f"|E|={node.num_edges} p={trie.p_value(node):.2f}"
         )
 
-    # --- Stream + partition + execute ----------------------------------
+    # --- One session per method: ingest + execute ----------------------
     print("\nmethod  cut    P(remote)  q1-square")
     events = stream_from_graph(graph, ordering="random", rng=random.Random(0))
     for method in ("hash", "ldg", "loom"):
-        result = partition_with(
-            method, graph, events, k=2, capacity=5, workload=workload,
-            window_size=8, motif_threshold=0.6,
+        session = Cluster.open(
+            ClusterConfig(
+                partitions=2, method=method, capacity=5,
+                window_size=8, motif_threshold=0.6,
+            ),
+            workload=workload,
         )
-        store = DistributedGraphStore(graph, result.assignment)
-        stats = run_workload(
-            store, workload, executions=200, rng=random.Random(1)
-        )
-        square = {result.assignment.partition_of(v) for v in (1, 2, 5, 6)}
+        session.ingest(events, graph=graph)
+        report = session.run_workload(executions=200, rng=random.Random(1))
+        square = {session.partition_of(v) for v in (1, 2, 5, 6)}
         print(
-            f"{method:7s} {edge_cut_fraction(graph, result.assignment):.3f}"
-            f"  {stats.remote_probability:.3f}      "
+            f"{method:7s} {session.stats().cut_fraction:.3f}"
+            f"  {report.remote_probability:.3f}      "
             f"{'together' if len(square) == 1 else 'SPLIT'}"
         )
 

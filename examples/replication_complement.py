@@ -9,10 +9,10 @@ secondary partitions -- and argues two things:
 2. LOOM "could effectively complement many workload aware replication
    approaches".
 
-This example measures both: starting from hash / LDG / LOOM partitions of
-the same protein-interaction graph, a budgeted hotspot replicator runs
-until convergence, and we report the traversal probability at increasing
-replica budgets.
+This example measures both through the session façade: for each initial
+partitioner a fresh cluster ingests the same protein-interaction stream,
+then :meth:`repro.api.Session.replicate` runs the budgeted hotspot
+replicator to convergence at increasing replica budgets.
 
 Run with::
 
@@ -21,11 +21,9 @@ Run with::
 
 import random
 
-from repro import DistributedGraphStore, stream_from_graph
-from repro.bench.harness import partition_with
+from repro import Cluster, ClusterConfig, stream_from_graph
 from repro.bench.tables import Table
 from repro.datasets import protein_network, protein_workload
-from repro.replication import HotspotReplicator
 
 BUDGET_FRACTIONS = (0.0, 0.05, 0.10, 0.20)
 
@@ -43,16 +41,23 @@ def main() -> None:
     for method in ("hash", "ldg", "loom"):
         row: dict[str, object] = {"method": method}
         for fraction in BUDGET_FRACTIONS:
-            result = partition_with(
-                method, graph, events, k=8, workload=workload,
-                window_size=128, motif_threshold=0.4,
+            # Replicas are additive state, so each budget point starts
+            # from a fresh session over the same stream.
+            session = Cluster.open(
+                ClusterConfig(
+                    partitions=8, method=method, window_size=128,
+                    motif_threshold=0.4,
+                ),
+                workload=workload,
             )
-            store = DistributedGraphStore(graph, result.assignment)
+            session.ingest(events, graph=graph)
             budget = int(fraction * graph.num_vertices)
-            report = HotspotReplicator(store, budget=budget).run(
-                workload, executions=60, rng=random.Random(43)
+            report = session.replicate(
+                budget=budget, executions=60, rng=random.Random(43)
             )
-            row[f"budget_{int(fraction * 100)}pct"] = report.remote_probability_after
+            row[f"budget_{int(fraction * 100)}pct"] = (
+                report.remote_probability_after
+            )
         table.add_row(**row)
 
     print()

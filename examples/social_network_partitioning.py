@@ -6,7 +6,8 @@ graph that grows as users join.  This example
 
 1. generates a schema-driven social property graph (users, posts,
    comments, pages) and its realistic Zipf-skewed workload;
-2. partitions it with the hash default, the LDG baseline and LOOM;
+2. opens one cluster session per method (hash, LDG, LOOM) and ingests
+   the same BFS stream through the :mod:`repro.api` façade;
 3. breaks communication cost down *per query shape*, showing where the
    latency goes and what workload-awareness buys.
 
@@ -17,11 +18,9 @@ Run with::
 
 import random
 
-from repro import DistributedGraphStore, LatencyModel, run_workload, stream_from_graph
-from repro.bench.harness import partition_with
+from repro import Cluster, ClusterConfig, stream_from_graph
 from repro.bench.tables import Table
 from repro.datasets import social_network, social_workload
-from repro.partitioning import edge_cut_fraction, normalised_max_load
 from repro.workload import Workload
 
 
@@ -34,7 +33,6 @@ def main() -> None:
 
     k = 8
     events = stream_from_graph(graph, ordering="bfs", rng=random.Random(1))
-    model = LatencyModel(local_cost=1.0, remote_cost=100.0)
 
     overall = Table(
         "overall quality (k=8, BFS stream)",
@@ -49,22 +47,26 @@ def main() -> None:
     }
 
     for method in ("hash", "ldg", "loom"):
-        result = partition_with(
-            method, graph, events, k=k, workload=workload,
-            window_size=256, motif_threshold=0.2,
+        session = Cluster.open(
+            ClusterConfig(
+                partitions=k, method=method, window_size=256,
+                motif_threshold=0.2, local_cost=1.0, remote_cost=100.0,
+            ),
+            workload=workload,
         )
-        store = DistributedGraphStore(graph, result.assignment)
-        stats = run_workload(store, workload, executions=150, rng=random.Random(2))
+        session.ingest(events, graph=graph)
+        report = session.run_workload(executions=150, rng=random.Random(2))
+        stats = session.stats()
         overall.add_row(
             method=method,
-            cut=edge_cut_fraction(graph, result.assignment),
-            rho=normalised_max_load(result.assignment),
-            p_remote=stats.remote_probability,
-            mean_cost=stats.mean_cost(model),
+            cut=stats.cut_fraction,
+            rho=stats.max_load,
+            p_remote=report.remote_probability,
+            mean_cost=report.mean_cost,
         )
         for query in workload:
-            solo = run_workload(
-                store, Workload([query]), executions=60, rng=random.Random(3)
+            solo = session.run_workload(
+                Workload([query]), executions=60, rng=random.Random(3)
             )
             per_query_rows[query.name][method] = solo.remote_per_query
 

@@ -5,27 +5,19 @@ Partitioning", GraphQ Workshop @ EDBT/ICDT 2016.
 
 Quick tour (see ``examples/quickstart.py`` for the runnable version)::
 
-    import random
-    from repro import (
-        LoomConfig, LoomPartitioner, figure1_graph, figure1_workload,
-        stream_from_graph, DistributedGraphStore, run_workload,
-    )
+    from repro import Cluster, ClusterConfig, figure1_graph, figure1_workload
 
-    graph = figure1_graph()
-    workload = figure1_workload()
-    config = LoomConfig(k=2, capacity=5, window_size=8)
-    loom = LoomPartitioner(workload, config)
-    events = stream_from_graph(graph, ordering="random", rng=random.Random(0))
-    assignment = loom.partition_stream(events)
-    stats = run_workload(
-        DistributedGraphStore(graph, assignment), workload,
-        executions=100, rng=random.Random(1),
-    )
-    print(stats.remote_probability)   # the paper's quality metric
+    config = ClusterConfig(partitions=2, method="loom", capacity=5,
+                           window_size=8, motif_threshold=0.6, seed=0)
+    session = Cluster.open(config, workload=figure1_workload())
+    session.ingest(figure1_graph())          # stream -> place -> store
+    report = session.run_workload(executions=100)
+    print(report.remote_probability)         # the paper's quality metric
 
 Package map (one sub-package per subsystem; see DESIGN.md):
 
 ======================  ====================================================
+``repro.api``           the session façade (Cluster/Session, typed results)
 ``repro.graph``         labelled graphs, isomorphism, canonical forms
 ``repro.signatures``    Song-et-al number-theoretic signatures
 ``repro.stream``        orderings, event sources, sliding windows
@@ -75,10 +67,28 @@ from repro.cluster import (
     LatencyModel,
     run_workload,
 )
+from repro.api import (
+    Cluster,
+    ClusterConfig,
+    ClusterStats,
+    IngestReport,
+    QueryResult,
+    RepartitionReport,
+    Session,
+    WorkloadReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Session",
+    "ClusterStats",
+    "IngestReport",
+    "QueryResult",
+    "WorkloadReport",
+    "RepartitionReport",
     "LabelledGraph",
     "SignatureScheme",
     "SlidingWindow",

@@ -1,0 +1,59 @@
+"""``repro.api`` -- the public session façade over the whole system.
+
+One stable, typed entry point for the paper's end-to-end loop::
+
+    from repro.api import Cluster, ClusterConfig
+
+    session = Cluster.open(ClusterConfig(partitions=8, method="loom"),
+                           workload=my_workload)
+    session.ingest(my_graph)                  # stream -> place -> store
+    report = session.run_workload()           # typed WorkloadReport
+    session.repartition(method="ldg")         # re-place, report the delta
+    payload = session.snapshot("cluster.json")
+    later = Cluster.restore("cluster.json")   # queryable immediately
+
+Everything else in the package (engine, partitioners, store, executor,
+replication) stays importable for research use, but the lifecycle --
+which pieces to build, in which order, with which randomness -- is owned
+here and implemented exactly once.
+"""
+
+from repro.api.config import ClusterConfig
+from repro.api.results import (
+    AssignmentEvaluation,
+    ClusterStats,
+    IngestReport,
+    MethodResult,
+    QueryResult,
+    RepartitionReport,
+    WorkloadReport,
+)
+from repro.api.session import (
+    DATASET_SEED_OFFSET,
+    REPARTITION_SEED_OFFSET,
+    REPLICATION_SEED_OFFSET,
+    SNAPSHOT_SCHEMA,
+    STREAM_SEED_OFFSET,
+    WORKLOAD_SEED_OFFSET,
+    Cluster,
+    Session,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Session",
+    "ClusterStats",
+    "IngestReport",
+    "QueryResult",
+    "WorkloadReport",
+    "RepartitionReport",
+    "MethodResult",
+    "AssignmentEvaluation",
+    "SNAPSHOT_SCHEMA",
+    "STREAM_SEED_OFFSET",
+    "DATASET_SEED_OFFSET",
+    "WORKLOAD_SEED_OFFSET",
+    "REPARTITION_SEED_OFFSET",
+    "REPLICATION_SEED_OFFSET",
+]

@@ -1,0 +1,105 @@
+"""Legacy lifecycle entry points, re-implemented over the session façade.
+
+``partition_with`` and ``evaluate_assignment`` were the experiment glue
+every caller hand-wired before :mod:`repro.api` existed.  They remain the
+vocabulary of the experiment suite (``repro.bench.experiments``) and of
+many tests, so they live on -- but as thin adapters over
+:class:`~repro.api.session.Session`, keeping exactly one implementation
+of the partition → store → query lifecycle.  ``repro.bench.harness``
+re-exports them; new code should open a session instead.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.api.config import ClusterConfig
+from repro.api.results import AssignmentEvaluation, MethodResult
+from repro.api.session import Cluster
+from repro.cluster.executor import run_workload as _execute_workload
+from repro.cluster.latency import LatencyModel
+from repro.cluster.store import DistributedGraphStore
+from repro.engine.pipeline import DEFAULT_BATCH_SIZE, StatsHook
+from repro.engine.registry import OFFLINE
+from repro.graph.labelled import LabelledGraph
+from repro.stream.events import StreamEvent
+from repro.workload.workloads import Workload
+
+
+def partition_with(
+    method: str,
+    graph: LabelledGraph,
+    events: list[StreamEvent],
+    *,
+    k: int,
+    capacity: int | None = None,
+    slack: float = 1.2,
+    workload: Workload | None = None,
+    window_size: int = 128,
+    motif_threshold: float = 0.2,
+    seed: int = 0,
+    rng: random.Random | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    stats_hooks: tuple[StatsHook, ...] = (),
+    **method_overrides,
+) -> MethodResult:
+    """Partition ``graph`` (already serialised as ``events``) with ``method``.
+
+    Deprecated glue kept for the experiment suite: it opens a one-shot
+    :class:`~repro.api.session.Session` under an equivalent
+    :class:`~repro.api.config.ClusterConfig` and ingests the events --
+    placements are byte-identical to the historical inline loop, since
+    the session drives the same registry build and streaming engine.
+    """
+    config = ClusterConfig(
+        partitions=k,
+        method=method,
+        capacity=capacity,
+        slack=slack,
+        window_size=window_size,
+        motif_threshold=motif_threshold,
+        batch_size=batch_size,
+        seed=seed,
+        method_options=dict(method_overrides),
+    )
+    session = Cluster.open(config, workload=workload, rng=rng)
+    start = time.perf_counter()
+    session.ingest(list(events), graph=graph, stats_hooks=stats_hooks)
+    seconds = time.perf_counter() - start
+    engine_stats = (
+        None if session._spec.kind == OFFLINE else session.engine_stats
+    )
+    return MethodResult(method, session.assignment, seconds, engine_stats)
+
+
+def evaluate_assignment(
+    graph: LabelledGraph,
+    result: MethodResult,
+    workload: Workload,
+    *,
+    executions: int = 120,
+    seed: int = 99,
+    rng: random.Random | None = None,
+    latency: LatencyModel | None = None,
+) -> AssignmentEvaluation:
+    """Run the sampled query stream against the partitioned store.
+
+    Deprecated glue kept for the experiment suite; the store construction
+    and workload execution it wraps are the API layer's responsibility
+    now.  The query sampler draws from ``rng`` when given, else from a
+    fresh ``random.Random(seed)`` -- reproducible either way.
+    """
+    store = DistributedGraphStore(graph, result.assignment)
+    stats = _execute_workload(
+        store, workload, executions=executions, rng=rng or random.Random(seed)
+    )
+    model = latency or LatencyModel()
+    return AssignmentEvaluation(
+        cut_fraction=result.cut_fraction(graph),
+        max_load=result.max_load(),
+        remote_probability=stats.remote_probability,
+        remote_per_query=stats.remote_per_query,
+        fully_local_rate=stats.fully_local_rate,
+        mean_cost=stats.mean_cost(model),
+    )

@@ -1,0 +1,137 @@
+"""Cluster configuration: every lifecycle knob, validated once.
+
+:class:`ClusterConfig` is the single value object a caller hands to
+:meth:`repro.api.Cluster.open`.  It gathers the knobs that used to be
+scattered across ``partition_with`` keyword arguments, ``LoomConfig``
+fields, latency-model construction and ad-hoc ``random.Random`` seeding --
+and validates all of them at construction, so a session never discovers a
+bad parameter halfway through a stream.
+
+The configuration is deliberately JSON-plain (ints, floats, strings, one
+options dict): :meth:`ClusterConfig.as_dict` /
+:meth:`ClusterConfig.from_dict` round-trip it losslessly, which is what
+session snapshots (:meth:`repro.api.Session.snapshot`) persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.cluster.latency import LatencyModel
+from repro.engine.pipeline import DEFAULT_BATCH_SIZE
+from repro.engine.registry import default_registry
+from repro.exceptions import ConfigurationError
+from repro.stream.orderings import ORDERINGS
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """All knobs of a simulated cluster session in one validated object.
+
+    ``partitions``
+        Number of partitions ``k``.
+    ``method``
+        Any partitioner registered with the
+        :class:`~repro.engine.registry.PartitionerRegistry` (``hash``,
+        ``ldg``, ``fennel``, ``offline``, ``loom``, ...).  Resolved --
+        and therefore validated -- at construction.
+    ``capacity`` / ``slack``
+        Per-partition vertex capacity ``C``.  When ``capacity`` is
+        ``None`` it is resolved on first ingest as
+        ``ceil(slack * n / k)`` over the ingested vertices (the paper's
+        balance constraint).
+    ``window_size`` / ``motif_threshold``
+        LOOM's sliding-window length and frequent-motif threshold ``T``
+        (ignored by workload-agnostic methods).
+    ``batch_size``
+        Streaming-engine batch granularity (stats/hook cadence only;
+        never placement semantics).
+    ``ordering``
+        Stream ordering used when a session must serialise a graph itself
+        (ingesting a graph or dataset, repartitioning the resident
+        graph).  One of :data:`repro.stream.orderings.ORDERINGS`.
+    ``local_cost`` / ``remote_cost``
+        The :class:`~repro.cluster.latency.LatencyModel` used to price
+        query traversals in reports.
+    ``replication_budget``
+        Default replica budget for :meth:`repro.api.Session.replicate`
+        (0 disables replication unless a call overrides it).
+    ``seed``
+        Master seed.  Every random draw a session makes (stream
+        serialisation, dataset generation, query sampling, partitioner
+        tie-breaking) flows from this seed through derived
+        ``random.Random`` instances -- the module-global generator is
+        never touched.
+    ``method_options``
+        Extra method-specific overrides forwarded to the partitioner
+        builder (e.g. LOOM's ``max_group_size`` or
+        ``oversize_strategy``).
+    """
+
+    partitions: int = 4
+    method: str = "loom"
+    capacity: int | None = None
+    slack: float = 1.2
+    window_size: int = 128
+    motif_threshold: float = 0.2
+    batch_size: int = DEFAULT_BATCH_SIZE
+    ordering: str = "random"
+    local_cost: float = 1.0
+    remote_cost: float = 100.0
+    replication_budget: int = 0
+    seed: int = 0
+    method_options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ConfigurationError("partitions must be >= 1")
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1 (or None)")
+        if self.slack < 1.0:
+            raise ConfigurationError(
+                "slack below 1.0 cannot fit all vertices"
+            )
+        if self.window_size < 1:
+            raise ConfigurationError("window_size must be >= 1")
+        if self.motif_threshold <= 0:
+            raise ConfigurationError("motif_threshold must be positive")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.ordering not in ORDERINGS:
+            raise ConfigurationError(
+                f"unknown ordering {self.ordering!r}; choose from "
+                f"{sorted(ORDERINGS)}"
+            )
+        if self.replication_budget < 0:
+            raise ConfigurationError("replication_budget must be >= 0")
+        if self.method not in default_registry:
+            raise ConfigurationError(
+                f"unknown method {self.method!r}; known methods: "
+                f"{', '.join(default_registry.names())}"
+            )
+        # Latency-model invariants (non-negative, remote >= local) are
+        # checked by constructing the model once here.
+        self.latency_model()
+
+    # ------------------------------------------------------------------
+    def latency_model(self) -> LatencyModel:
+        """The traversal cost model these knobs describe."""
+        return LatencyModel(
+            local_cost=self.local_cost, remote_cost=self.remote_cost
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-plain dict representation (snapshot format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ClusterConfig":
+        """Rebuild (and re-validate) a config from :meth:`as_dict` output."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config fields: {sorted(unknown)}"
+            )
+        return cls(**payload)

@@ -1,0 +1,193 @@
+"""Typed results returned by the session façade.
+
+Every command of :class:`repro.api.Session` answers with one of these
+dataclasses instead of a bare tuple or dict: callers (the CLI's ``--json``
+mode, benchmarks, tests) read named fields, and each type renders itself
+JSON-plain through ``as_dict()``.
+
+:class:`MethodResult` and :class:`AssignmentEvaluation` are the legacy
+experiment-harness result types, now owned by the API layer --
+``repro.bench.harness`` re-exports them for existing call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.cluster.executor import WorkloadStats
+from repro.cluster.latency import LatencyModel
+from repro.engine.pipeline import EngineStats
+from repro.graph.labelled import LabelledGraph
+from repro.partitioning import edge_cut_fraction, normalised_max_load
+from repro.partitioning.base import PartitionAssignment
+
+
+@dataclass
+class MethodResult:
+    """One (method, configuration) cell of an experiment table."""
+
+    method: str
+    assignment: PartitionAssignment
+    seconds: float
+    engine_stats: EngineStats | None = field(default=None, compare=False)
+
+    def cut_fraction(self, graph: LabelledGraph) -> float:
+        return edge_cut_fraction(graph, self.assignment)
+
+    def max_load(self) -> float:
+        return normalised_max_load(self.assignment)
+
+    def vertices_per_second(self) -> float:
+        """Engine-level throughput when available, wall-clock otherwise."""
+        if self.engine_stats is not None and self.engine_stats.seconds > 0:
+            return self.engine_stats.vertices_per_second
+        if self.seconds > 0:
+            return self.assignment.num_assigned / self.seconds
+        return 0.0
+
+
+@dataclass
+class AssignmentEvaluation:
+    """Structural + workload quality of one finished assignment."""
+
+    cut_fraction: float
+    max_load: float
+    remote_probability: float
+    remote_per_query: float
+    fully_local_rate: float
+    mean_cost: float
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """What one :meth:`repro.api.Session.ingest` call consumed."""
+
+    events: int
+    vertices: int
+    edges: int
+    seconds: float
+    #: Total vertices assigned across the whole session after this ingest.
+    assigned_total: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["events_per_second"] = round(self.events_per_second, 1)
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Outcome of executing one pattern query against the cluster."""
+
+    query: str
+    matches: int
+    local_traversals: int
+    remote_traversals: int
+    #: The paper's metric for this one execution.
+    remote_probability: float
+    #: True when the answer never left a partition.
+    fully_local: bool
+    #: Modelled latency under the session's cost model.
+    cost: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadReport:
+    """Aggregate outcome of a sampled query stream."""
+
+    executions: int
+    matches: int
+    local_traversals: int
+    remote_traversals: int
+    #: P(a traversal crosses partitions) -- the paper's headline metric.
+    remote_probability: float
+    remote_per_query: float
+    fully_local_rate: float
+    mean_cost: float
+
+    @classmethod
+    def from_stats(
+        cls, stats: WorkloadStats, model: LatencyModel
+    ) -> "WorkloadReport":
+        return cls(
+            executions=stats.executions,
+            matches=stats.matches,
+            local_traversals=stats.ledger.local,
+            remote_traversals=stats.ledger.remote,
+            remote_probability=stats.remote_probability,
+            remote_per_query=stats.remote_per_query,
+            fully_local_rate=stats.fully_local_rate,
+            mean_cost=stats.mean_cost(model),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterStats:
+    """One consistent snapshot of everything a session knows about itself:
+    resident graph, balance/cut quality, engine throughput, and the
+    partitioner's own diagnostic counters."""
+
+    method: str
+    partitions: int
+    capacity: int | None
+    vertices: int
+    edges: int
+    assigned: int
+    sizes: list[int]
+    #: ``None`` until the assignment is complete (cut is undefined while
+    #: vertices are still buffered in the window).
+    cut_fraction: float | None
+    max_load: float
+    replication_factor: float
+    # -- streaming-engine aggregate (zero for offline methods) ----------
+    engine_batches: int
+    engine_events: int
+    engine_seconds: float
+    events_per_second: float
+    peak_window_occupancy: int
+    stage_seconds: dict[str, float]
+    #: LOOM's group/single placement counters (``None`` for other methods).
+    partitioner_counters: dict[str, int] | None
+    #: Stream-matcher counters (``None`` for non-motif methods).
+    matcher_counters: dict[str, int] | None
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class RepartitionReport:
+    """Delta of re-placing the resident graph under another method."""
+
+    method_before: str
+    method_after: str
+    total_vertices: int
+    #: Vertices whose partition index changed (index-sensitive: a pure
+    #: relabelling of equivalent blocks counts as movement).
+    moved_vertices: int
+    cut_before: float
+    cut_after: float
+    max_load_before: float
+    max_load_after: float
+
+    @property
+    def moved_fraction(self) -> float:
+        if self.total_vertices == 0:
+            return 0.0
+        return self.moved_vertices / self.total_vertices
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["moved_fraction"] = round(self.moved_fraction, 4)
+        return payload

@@ -1,0 +1,777 @@
+"""The session façade: one owner for the partition → store → query loop.
+
+The paper's end-to-end story -- stream edges in, match workload motifs,
+place vertices, answer pattern queries with few inter-partition
+traversals -- used to exist only as loose parts that every caller (CLI,
+benchmarks, examples, tests) wired together by hand.  :class:`Cluster`
+and :class:`Session` are the single public surface over that lifecycle:
+
+>>> from repro.api import Cluster, ClusterConfig
+>>> from repro.workload import figure1_graph, figure1_workload
+>>> config = ClusterConfig(partitions=2, method="loom", capacity=5,
+...                        window_size=8, motif_threshold=0.6, seed=0)
+>>> session = Cluster.open(config, workload=figure1_workload())
+>>> _ = session.ingest(figure1_graph())
+>>> session.run_workload(executions=50).remote_probability  # doctest: +SKIP
+0.08
+
+Ingest streams events through the shared
+:class:`~repro.engine.pipeline.StreamingEngine`; the session mirrors each
+batch into its :class:`~repro.cluster.store.DistributedGraphStore` (via
+the engine's ``event_hook``) and every placement the partitioner makes
+(via :attr:`~repro.partitioning.base.PartitionAssignment.on_assign`), so
+the queryable cluster state is maintained *incrementally* as the stream
+is consumed -- never rebuilt from a finished assignment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+import time
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.api.config import ClusterConfig
+from repro.api.results import (
+    ClusterStats,
+    IngestReport,
+    QueryResult,
+    RepartitionReport,
+    WorkloadReport,
+)
+from repro.cluster.executor import DistributedQueryExecutor
+from repro.cluster.executor import run_workload as _execute_workload
+from repro.cluster.store import DistributedGraphStore
+from repro.engine.pipeline import (
+    EngineStats,
+    StatsHook,
+    StreamingEngine,
+    as_stream_partitioner,
+)
+from repro.engine.registry import OFFLINE, PartitionRequest, default_registry
+from repro.exceptions import SessionError
+from repro.graph.labelled import LabelledGraph, Vertex
+from repro.partitioning import edge_cut_fraction, normalised_max_load
+from repro.partitioning.base import default_capacity
+from repro.replication.hotspot import HotspotReplicator, ReplicationReport
+from repro.stream.events import StreamEvent, VertexArrival
+from repro.stream.sources import stream_from_graph
+from repro.workload.query import PatternQuery
+from repro.workload.workloads import Workload
+
+#: Snapshot format identifier (bumped on incompatible layout changes).
+SNAPSHOT_SCHEMA = "loom-repro/session/v1"
+
+# Fixed offsets deriving per-purpose RNG seeds from the config's master
+# seed.  Constants (not hashes) so snapshots and tests can reproduce any
+# derived stream without touching session internals.
+STREAM_SEED_OFFSET = 11
+DATASET_SEED_OFFSET = 13
+WORKLOAD_SEED_OFFSET = 17
+REPARTITION_SEED_OFFSET = 19
+REPLICATION_SEED_OFFSET = 23
+
+
+def _builtin_datasets():
+    """Name -> (graph generator, workload generator) for string ingest."""
+    from repro.datasets import (
+        citation_network,
+        citation_workload,
+        fraud_network,
+        fraud_workload,
+        protein_network,
+        protein_workload,
+        social_network,
+        social_workload,
+    )
+
+    return {
+        "social": (social_network, social_workload),
+        "fraud": (fraud_network, fraud_workload),
+        "citation": (citation_network, citation_workload),
+        "protein": (protein_network, protein_workload),
+    }
+
+
+class Cluster:
+    """Entry point: open a fresh session or restore a persisted one."""
+
+    @classmethod
+    def open(
+        cls,
+        config: ClusterConfig | None = None,
+        *,
+        workload: Workload | None = None,
+        rng: random.Random | None = None,
+        **overrides: Any,
+    ) -> "Session":
+        """Start a session for ``config`` (validated once, up front).
+
+        ``workload`` is required before the first ingest by
+        workload-aware methods (``loom``, ``loom_ta``, ``ta-ldg``,
+        ``offline_wa``); ingesting a named dataset adopts its bundled
+        workload when none was given.  ``rng`` optionally overrides the
+        partitioner-builder randomness (by default every draw derives
+        from ``config.seed``).  Keyword ``overrides`` build a config in
+        place: ``Cluster.open(method="ldg", partitions=8)``.
+        """
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        return Session(config, workload=workload, rng=rng)
+
+    @classmethod
+    def restore(
+        cls,
+        source: dict[str, Any] | str | Path,
+        *,
+        workload: Workload | None = None,
+    ) -> "Session":
+        """Rebuild a session from :meth:`Session.snapshot` output.
+
+        ``source`` is the snapshot dict itself or a path to its JSON
+        file.  The restored session answers queries immediately and can
+        ingest further events or repartition; it carries no stream-window
+        state (snapshots are taken at ingest boundaries).
+        """
+        if not isinstance(source, dict):
+            source = json.loads(Path(source).read_text(encoding="utf-8"))
+        schema = source.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise SessionError(
+                f"snapshot schema {schema!r} is not {SNAPSHOT_SCHEMA!r}"
+            )
+        config = ClusterConfig.from_dict(source["config"])
+        session = Session(config, workload=workload)
+        store = session._ensure_store(int(source["capacity"]))
+        for vertex, label in source["graph"]["vertices"]:
+            store.add_vertex(vertex, label)
+        for u, v in source["graph"]["edges"]:
+            store.add_edge(u, v)
+        for vertex, partition in source["assignment"]:
+            store.assign_vertex(vertex, partition)
+        return session
+
+
+class Session:
+    """A live simulated cluster: ingest, query, inspect, re-place, persist.
+
+    Construct through :meth:`Cluster.open` / :meth:`Cluster.restore`.
+    All randomness flows from ``config.seed`` (or explicitly passed
+    ``rng``/``seed`` arguments); the module-global ``random`` generator
+    is never touched, so equal configurations replay identically.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        workload: Workload | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config
+        self._workload = workload
+        self._build_rng = rng
+        self._spec = default_registry.resolve(config.method)
+        self._store: DistributedGraphStore | None = None
+        self._partitioner = None
+        self._engine_stats = EngineStats(batch_size=config.batch_size)
+        self._latency = config.latency_model()
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> Workload | None:
+        """The workload the session partitions and samples for."""
+        return self._workload
+
+    @property
+    def store(self) -> DistributedGraphStore:
+        """The incrementally maintained distributed store."""
+        if self._store is None:
+            raise SessionError("nothing ingested yet: the store is empty")
+        return self._store
+
+    @property
+    def graph(self) -> LabelledGraph:
+        """The resident data graph (grows with every ingest)."""
+        return self.store.graph
+
+    @property
+    def assignment(self):
+        """The vertex -> partition assignment built so far."""
+        return self.store.assignment
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Aggregate streaming-engine statistics across all ingests."""
+        return self._engine_stats
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every resident vertex has been assigned."""
+        return self._store is not None and self._store.is_complete
+
+    def partition_of(self, vertex: Vertex) -> int | None:
+        """The partition hosting ``vertex`` (``None`` if unassigned)."""
+        return self.store.assignment.partition_of(vertex)
+
+    def _derived_rng(self, offset: int, seed: int | None) -> random.Random:
+        return random.Random(self.config.seed + offset if seed is None else seed)
+
+    def _require_complete(self) -> None:
+        if self._store is None or self._store.graph.num_vertices == 0:
+            raise SessionError("nothing ingested yet")
+        if not self._store.is_complete:
+            raise SessionError(
+                "assignment incomplete: finish ingesting before querying"
+            )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        source: Sequence[StreamEvent] | LabelledGraph | str,
+        *,
+        size: int | None = None,
+        graph: LabelledGraph | None = None,
+        workload: Workload | None = None,
+        stats_hooks: Sequence[StatsHook] = (),
+        rng: random.Random | None = None,
+        seed: int | None = None,
+    ) -> IngestReport:
+        """Stream ``source`` into the cluster and place every vertex.
+
+        ``source`` is one of
+
+        * a sequence of stream events (vertex/edge arrivals),
+        * a :class:`~repro.graph.labelled.LabelledGraph`, serialised
+          under ``config.ordering`` with a seed-derived RNG, or
+        * a built-in dataset name (``"social"``, ``"fraud"``,
+          ``"citation"``, ``"protein"``; ``size`` scales it) -- the
+          dataset's bundled workload is adopted when the session has
+          none.
+
+        Streaming methods consume the events through the shared
+        :class:`~repro.engine.pipeline.StreamingEngine` in
+        ``config.batch_size`` batches (``stats_hooks`` observe each
+        batch) while the store is co-maintained incrementally; offline
+        methods see the whole graph, then their finished assignment is
+        mirrored in.  ``graph`` optionally names the already-materialised
+        graph the events replay (skips one re-materialisation).  The
+        stream is fully placed on return -- the window is flushed --
+        so the session is immediately queryable.
+
+        A derived capacity (``config.capacity is None``) grows with the
+        resident graph across ingests; an explicit one is a hard
+        invariant, and ingesting past it raises
+        ``CapacityExceededError`` (the stream is placed up to the
+        failing vertex; open a fresh session with more headroom to
+        retry).
+        """
+        if workload is not None:
+            self._adopt_workload(workload)
+        events, source_graph = self._resolve_source(
+            source, size=size, graph=graph, rng=rng, seed=seed
+        )
+        began = time.perf_counter()
+        vertices = sum(
+            1 for event in events if isinstance(event, VertexArrival)
+        )
+        edges = len(events) - vertices
+        self._grow_capacity(vertices)
+        if self._spec.kind == OFFLINE:
+            self._ingest_offline(events, source_graph)
+        else:
+            partitioner = self._ensure_partitioner(
+                events, source_graph, incoming=vertices
+            )
+            engine = StreamingEngine(
+                partitioner,
+                batch_size=self.config.batch_size,
+                hooks=tuple(stats_hooks),
+                event_hook=self._mirror_batch,
+            )
+            engine.run(events)
+            self._merge_engine_stats(engine.stats)
+        seconds = time.perf_counter() - began
+        return IngestReport(
+            events=len(events),
+            vertices=vertices,
+            edges=edges,
+            seconds=seconds,
+            assigned_total=self.store.assignment.num_assigned,
+        )
+
+    def _adopt_workload(self, workload: Workload) -> None:
+        if self._workload is not None and self._workload is not workload:
+            raise SessionError(
+                "session already carries a workload; open a fresh session "
+                "(or repartition) to change it"
+            )
+        self._workload = workload
+
+    def _resolve_source(
+        self,
+        source: Sequence[StreamEvent] | LabelledGraph | str,
+        *,
+        size: int | None,
+        graph: LabelledGraph | None,
+        rng: random.Random | None,
+        seed: int | None,
+    ) -> tuple[list[StreamEvent], LabelledGraph | None]:
+        """Normalise any ingest source into (events, materialised graph)."""
+        if isinstance(source, str):
+            datasets = _builtin_datasets()
+            if source not in datasets:
+                raise SessionError(
+                    f"unknown dataset {source!r}; choose from "
+                    f"{sorted(datasets)}"
+                )
+            make_graph, make_workload = datasets[source]
+            dataset_rng = rng or self._derived_rng(DATASET_SEED_OFFSET, seed)
+            args = () if size is None else (size,)
+            source = make_graph(*args, rng=dataset_rng)
+            if self._workload is None:
+                self._workload = make_workload()
+        if isinstance(source, LabelledGraph):
+            stream_rng = rng or self._derived_rng(STREAM_SEED_OFFSET, seed)
+            events = stream_from_graph(
+                source, ordering=self.config.ordering, rng=stream_rng
+            )
+            return events, source
+        return list(source), graph
+
+    def _ensure_store(self, capacity: int) -> DistributedGraphStore:
+        if self._store is None:
+            self._store = DistributedGraphStore.incremental(
+                self.config.partitions, capacity
+            )
+        return self._store
+
+    def _resolve_capacity(self, incoming_vertices: int) -> int:
+        if self._store is not None:
+            return self._store.assignment.capacity
+        if self.config.capacity is not None:
+            return self.config.capacity
+        return default_capacity(
+            incoming_vertices, self.config.partitions, self.config.slack
+        )
+
+    def _grow_capacity(self, incoming_vertices: int) -> None:
+        """Keep a derived capacity in step with the growing resident graph.
+
+        An explicit ``config.capacity`` is a hard invariant the caller
+        chose (ingesting past it raises ``CapacityExceededError``, as it
+        must); a derived ``ceil(slack * n / k)`` bound tracks the total
+        ``n`` after each ingest, so grow-by-ingest and restore-then-
+        ingest never hit a ceiling frozen at the first ingest's size.
+        """
+        if self._store is None or self.config.capacity is not None:
+            return
+        total = self._store.graph.num_vertices + incoming_vertices
+        needed = default_capacity(
+            total, self.config.partitions, self.config.slack
+        )
+        if needed > self._store.assignment.capacity:
+            self._store.assignment.grow_capacity(needed)
+            if self._partitioner is not None:
+                self._partitioner.assignment.grow_capacity(needed)
+
+    def _build_request(
+        self,
+        events: Sequence[StreamEvent],
+        hint: LabelledGraph,
+        capacity: int,
+    ) -> PartitionRequest:
+        config = self.config
+        request = PartitionRequest(
+            graph=hint,
+            events=events,
+            k=config.partitions,
+            capacity=capacity,
+            slack=config.slack,
+            workload=self._workload,
+            window_size=config.window_size,
+            motif_threshold=config.motif_threshold,
+            seed=config.seed,
+            rng=self._build_rng,
+            options=dict(config.method_options),
+        )
+        self._spec.check_request(request)
+        return request
+
+    def _ensure_partitioner(
+        self,
+        events: Sequence[StreamEvent],
+        source_graph: LabelledGraph | None,
+        *,
+        incoming: int,
+    ):
+        """Build the streaming partitioner on first ingest (capacity and
+        size hints need the stream), wire its assignment into the store.
+
+        When only raw events were given, they are materialised straight
+        into the store's own graph (one pass, no throwaway copy) so
+        builders that read size hints (Fennel's ``n``/``m``) see the full
+        stream; the engine's per-batch mirror then no-ops on re-adds.
+        """
+        if self._partitioner is not None:
+            return self._partitioner
+        capacity = self._resolve_capacity(
+            source_graph.num_vertices if source_graph is not None else incoming
+        )
+        if source_graph is not None:
+            hint = source_graph
+            self._ensure_store(capacity)
+        else:
+            store = self._ensure_store(capacity)
+            self._mirror_batch(events)
+            hint = store.graph
+        request = self._build_request(events, hint, capacity)
+        partitioner = as_stream_partitioner(
+            self._spec.build(request),
+            k=self.config.partitions,
+            capacity=capacity,
+        )
+        store = self._ensure_store(capacity)
+        # A restored session seeds the fresh partitioner with the
+        # already-placed vertices, then mirrors every new placement.
+        for vertex, partition in store.assignment.assigned().items():
+            partitioner.assignment.assign(vertex, partition)
+        partitioner.assignment.on_assign = store.assign_vertex
+        self._partitioner = partitioner
+        return partitioner
+
+    def _mirror_batch(self, batch: Sequence[StreamEvent]) -> None:
+        """Engine event hook: grow the store graph with each raw batch."""
+        store = self._store
+        for event in batch:
+            if isinstance(event, VertexArrival):
+                store.add_vertex(event.vertex, event.label)
+            else:
+                store.add_edge(event.u, event.v)
+
+    def _ingest_offline(
+        self,
+        events: Sequence[StreamEvent],
+        source_graph: LabelledGraph | None,
+    ) -> None:
+        """Offline methods see the whole graph; their finished assignment
+        is mirrored into the store (re-placing everything on re-ingest)."""
+        had_residents = (
+            self._store is not None and self._store.graph.num_vertices > 0
+        )
+        incoming = sum(
+            1 for event in events if isinstance(event, VertexArrival)
+        )
+        capacity = self._resolve_capacity(
+            source_graph.num_vertices if source_graph is not None else incoming
+        )
+        store = self._ensure_store(capacity)
+        self._mirror_batch(events)
+        whole = (
+            store.graph
+            if had_residents or source_graph is None
+            else source_graph
+        )
+        request = self._build_request(events, whole, capacity)
+        assignment = self._spec.build(request)
+        if had_residents:
+            # Offline re-ingest re-partitions the whole resident graph:
+            # adopt the fresh assignment outright, and drop replicas --
+            # they were provisioned under the discarded placement.
+            store.assignment = assignment
+            store.clear_replicas()
+        else:
+            for vertex, partition in assignment.assigned().items():
+                store.assign_vertex(vertex, partition)
+
+    def _merge_engine_stats(self, run: EngineStats) -> None:
+        stats = self._engine_stats
+        stats.batches += run.batches
+        stats.events += run.events
+        stats.vertices += run.vertices
+        stats.edges += run.edges
+        stats.seconds += run.seconds
+        stats.peak_window_occupancy = max(
+            stats.peak_window_occupancy, run.peak_window_occupancy
+        )
+        if run.stage_seconds:
+            stats.stage_seconds = dict(run.stage_seconds)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        pattern: PatternQuery | LabelledGraph,
+        *,
+        name: str = "adhoc",
+        track_edges: bool = False,
+    ) -> QueryResult:
+        """Execute one pattern query to completion, counting traversals."""
+        if not isinstance(pattern, PatternQuery):
+            pattern = PatternQuery(name, pattern)
+        self._require_complete()
+        executor = DistributedQueryExecutor(
+            self.store, track_edges=track_edges
+        )
+        execution = executor.execute(pattern)
+        ledger = execution.ledger
+        return QueryResult(
+            query=pattern.name,
+            matches=execution.matches,
+            local_traversals=ledger.local,
+            remote_traversals=ledger.remote,
+            remote_probability=ledger.remote_probability,
+            fully_local=execution.fully_local,
+            cost=ledger.cost(self._latency),
+        )
+
+    def run_workload(
+        self,
+        workload: Workload | None = None,
+        *,
+        executions: int = 200,
+        rng: random.Random | None = None,
+        seed: int | None = None,
+        track_edges: bool = False,
+    ) -> WorkloadReport:
+        """Sample ``executions`` queries by frequency and execute them all.
+
+        Defaults to the session's own workload; the sampler draws from
+        ``rng``, else from a ``random.Random`` derived from ``seed`` (or
+        the config seed), so repeated calls replay the same stream.
+        """
+        target = workload or self._workload
+        if target is None:
+            raise SessionError(
+                "no workload: pass one here or when opening the session"
+            )
+        self._require_complete()
+        sampler = rng or self._derived_rng(WORKLOAD_SEED_OFFSET, seed)
+        stats = _execute_workload(
+            self.store,
+            target,
+            executions=executions,
+            rng=sampler,
+            track_edges=track_edges,
+        )
+        return WorkloadReport.from_stats(stats, self._latency)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ClusterStats:
+        """One snapshot of graph, balance, engine and matcher counters."""
+        store = self._store
+        engine = self._engine_stats
+        if store is None:
+            vertices = edges = assigned = 0
+            sizes: list[int] = []
+            capacity = self.config.capacity
+            cut = None
+            max_load = 0.0
+            replication = 1.0
+        else:
+            vertices = store.graph.num_vertices
+            edges = store.graph.num_edges
+            assigned = store.assignment.num_assigned
+            sizes = store.assignment.sizes()
+            capacity = store.assignment.capacity
+            complete = store.is_complete and vertices > 0
+            cut = (
+                edge_cut_fraction(store.graph, store.assignment)
+                if complete
+                else None
+            )
+            max_load = (
+                normalised_max_load(store.assignment) if assigned else 0.0
+            )
+            replication = store.replication_factor()
+        partitioner = self._partitioner
+        counters = getattr(partitioner, "stats", None)
+        matcher = getattr(partitioner, "matcher", None)
+        matcher_counters = getattr(matcher, "stats", None)
+        return ClusterStats(
+            method=self.config.method,
+            partitions=self.config.partitions,
+            capacity=capacity,
+            vertices=vertices,
+            edges=edges,
+            assigned=assigned,
+            sizes=sizes,
+            cut_fraction=cut,
+            max_load=max_load,
+            replication_factor=replication,
+            engine_batches=engine.batches,
+            engine_events=engine.events,
+            engine_seconds=engine.seconds,
+            events_per_second=engine.events_per_second,
+            peak_window_occupancy=engine.peak_window_occupancy,
+            stage_seconds=dict(engine.stage_seconds),
+            partitioner_counters=(
+                dict(counters) if isinstance(counters, dict) else None
+            ),
+            matcher_counters=(
+                dict(matcher_counters)
+                if isinstance(matcher_counters, dict)
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Repartition
+    # ------------------------------------------------------------------
+    def repartition(
+        self,
+        method: str | None = None,
+        *,
+        window_size: int | None = None,
+        motif_threshold: float | None = None,
+        workload: Workload | None = None,
+        rng: random.Random | None = None,
+        seed: int | None = None,
+    ) -> RepartitionReport:
+        """Re-place the resident graph under another registered method.
+
+        The resident graph is re-serialised under ``config.ordering``
+        (RNG derived from ``seed`` / the config seed) and run through the
+        full ingest lifecycle in a scratch session; on success this
+        session adopts the new store/partitioner and reports the delta.
+        """
+        self._require_complete()
+        overrides: dict[str, Any] = {}
+        if method is not None:
+            overrides["method"] = method
+        if window_size is not None:
+            overrides["window_size"] = window_size
+        if motif_threshold is not None:
+            overrides["motif_threshold"] = motif_threshold
+        new_config = (
+            dataclasses.replace(self.config, **overrides)
+            if overrides
+            else self.config
+        )
+        old_store = self.store
+        old_assignment = old_store.assignment
+        before = RepartitionReport(
+            method_before=self.config.method,
+            method_after=new_config.method,
+            total_vertices=old_store.graph.num_vertices,
+            moved_vertices=0,
+            cut_before=edge_cut_fraction(old_store.graph, old_assignment),
+            cut_after=0.0,
+            max_load_before=normalised_max_load(old_assignment),
+            max_load_after=0.0,
+        )
+        fresh = Cluster.open(
+            new_config, workload=workload or self._workload, rng=rng
+        )
+        stream_rng = rng or self._derived_rng(REPARTITION_SEED_OFFSET, seed)
+        events = stream_from_graph(
+            old_store.graph, ordering=new_config.ordering, rng=stream_rng
+        )
+        fresh.ingest(events, graph=old_store.graph)
+        new_store = fresh.store
+        moved = sum(
+            1
+            for vertex, partition in old_assignment.assigned().items()
+            if new_store.assignment.partition_of(vertex) != partition
+        )
+        # Adopt the scratch session's state wholesale.
+        self.config = new_config
+        self._workload = fresh._workload
+        self._spec = fresh._spec
+        self._partitioner = fresh._partitioner
+        self._store = fresh._store
+        self._engine_stats = fresh._engine_stats
+        self._latency = fresh._latency
+        return dataclasses.replace(
+            before,
+            moved_vertices=moved,
+            cut_after=edge_cut_fraction(new_store.graph, new_store.assignment),
+            max_load_after=normalised_max_load(new_store.assignment),
+        )
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def replicate(
+        self,
+        workload: Workload | None = None,
+        *,
+        budget: int | None = None,
+        executions: int = 80,
+        batch_size: int = 8,
+        rng: random.Random | None = None,
+        seed: int | None = None,
+    ) -> ReplicationReport:
+        """Run budgeted hotspot replication on top of the current placement
+        (section 3.2's complementary mechanism).  Replicas live in the
+        session's store and lower subsequent query costs."""
+        target = workload or self._workload
+        if target is None:
+            raise SessionError(
+                "no workload: pass one here or when opening the session"
+            )
+        self._require_complete()
+        resolved_budget = (
+            budget if budget is not None else self.config.replication_budget
+        )
+        replicator = HotspotReplicator(
+            self.store, budget=resolved_budget, batch_size=batch_size
+        )
+        sampler = rng or self._derived_rng(REPLICATION_SEED_OFFSET, seed)
+        return replicator.run(target, executions=executions, rng=sampler)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str | Path | None = None) -> dict[str, Any]:
+        """JSON-plain snapshot of config + resident graph + assignment.
+
+        Taken at an ingest boundary (the assignment must be complete).
+        ``path`` additionally writes the JSON file
+        :meth:`Cluster.restore` reads back.
+        """
+        self._require_complete()
+        store = self.store
+        payload: dict[str, Any] = {
+            "schema": SNAPSHOT_SCHEMA,
+            "config": self.config.as_dict(),
+            "capacity": store.assignment.capacity,
+            "graph": {
+                "vertices": [
+                    [vertex, store.graph.label(vertex)]
+                    for vertex in store.graph.vertices()
+                ],
+                "edges": [[u, v] for u, v in store.graph.edges()],
+            },
+            "assignment": [
+                [vertex, partition]
+                for vertex, partition in store.assignment.assigned().items()
+            ],
+        }
+        if path is not None:
+            Path(path).write_text(
+                json.dumps(payload, indent=2, sort_keys=True, default=str)
+                + "\n",
+                encoding="utf-8",
+            )
+        return payload
+
+    def __repr__(self) -> str:
+        resident = 0 if self._store is None else self._store.graph.num_vertices
+        return (
+            f"Session(method={self.config.method!r}, "
+            f"k={self.config.partitions}, |V|={resident}, "
+            f"complete={self.is_complete})"
+        )

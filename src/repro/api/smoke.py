@@ -1,0 +1,45 @@
+"""End-to-end façade smoke: ``Cluster.open → ingest → query``.
+
+Run as ``python -m repro.api.smoke`` (CI's bench-smoke job does).  Exits
+non-zero if the paper's figure-1 walkthrough stops producing matches or
+co-locating the hot motif.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import Cluster, ClusterConfig
+from repro.workload import figure1_graph, figure1_workload
+
+
+def main() -> int:
+    config = ClusterConfig(
+        partitions=2,
+        method="loom",
+        capacity=5,
+        window_size=8,
+        motif_threshold=0.6,
+        seed=0,
+    )
+    workload = figure1_workload(q1_frequency=4.0)
+    session = Cluster.open(config, workload=workload)
+    ingest = session.ingest(figure1_graph())
+    results = [session.query(query) for query in workload]
+    report = session.run_workload(executions=100)
+    print(
+        f"ingested {ingest.vertices} vertices / {ingest.edges} edges; "
+        + "; ".join(f"{r.query}: {r.matches} matches" for r in results)
+        + f"; P(remote)={report.remote_probability:.3f}"
+    )
+    if ingest.assigned_total != ingest.vertices:
+        print("FAIL: not every vertex was assigned", file=sys.stderr)
+        return 1
+    if any(result.matches == 0 for result in results):
+        print("FAIL: a figure-1 query lost its matches", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,35 +1,27 @@
-"""Shared experiment machinery: registry-backed dispatch and evaluation.
+"""Experiment-harness vocabulary (deprecation shims over :mod:`repro.api`).
 
-``partition_with`` runs any registered method over a (graph, stream) pair
-under one uniform contract, so every experiment compares like with like:
-identical streams, identical capacities, identical evaluation.  Methods
-are resolved exclusively through the
-:class:`~repro.engine.registry.PartitionerRegistry` -- the harness holds
-no name->class tables of its own -- and streaming methods are driven by
-the shared :class:`~repro.engine.pipeline.StreamingEngine`, which is also
-where throughput numbers (experiment E9) come from.
+Historically this module *was* the lifecycle glue: ``partition_with``
+hand-wired registry dispatch, the streaming engine and evaluation for
+every experiment.  That lifecycle now has exactly one owner -- the
+session façade (:class:`repro.api.Cluster` / :class:`repro.api.Session`)
+-- and this module keeps only the names the experiment suite and older
+call sites import:
+
+* :func:`partition_with` / :func:`evaluate_assignment` delegate to
+  :mod:`repro.api.compat` (one-shot sessions under an equivalent
+  :class:`~repro.api.config.ClusterConfig`; placements byte-identical to
+  the historical inline loop);
+* :class:`MethodResult` / :class:`AssignmentEvaluation` are re-exported
+  from :mod:`repro.api.results`, their new home.
+
+New code should open a session instead of calling these.
 """
 
 from __future__ import annotations
 
-import random
-import time
-from dataclasses import dataclass, field
-
-from repro.cluster import DistributedGraphStore, LatencyModel, run_workload
-from repro.engine.pipeline import (
-    DEFAULT_BATCH_SIZE,
-    EngineStats,
-    StatsHook,
-    StreamingEngine,
-    as_stream_partitioner,
-)
-from repro.engine.registry import OFFLINE, STREAMING, PartitionRequest, default_registry
-from repro.graph.labelled import LabelledGraph
-from repro.partitioning import edge_cut_fraction, normalised_max_load
-from repro.partitioning.base import PartitionAssignment
-from repro.stream.events import StreamEvent
-from repro.workload.workloads import Workload
+from repro.api.compat import evaluate_assignment, partition_with
+from repro.api.results import AssignmentEvaluation, MethodResult
+from repro.engine.registry import STREAMING, default_registry
 
 #: Streaming vertex-at-a-time baselines available to every experiment:
 #: a registry-derived name -> :class:`PartitionerSpec` snapshot (methods
@@ -43,127 +35,11 @@ STREAMING_METHODS = default_registry.mapping(
 #: The default method line-up for quality tables.
 DEFAULT_LINEUP = ("hash", "ldg", "fennel", "offline", "loom")
 
-
-@dataclass
-class MethodResult:
-    """One (method, configuration) cell of an experiment table."""
-
-    method: str
-    assignment: PartitionAssignment
-    seconds: float
-    engine_stats: EngineStats | None = field(default=None, compare=False)
-
-    def cut_fraction(self, graph: LabelledGraph) -> float:
-        return edge_cut_fraction(graph, self.assignment)
-
-    def max_load(self) -> float:
-        return normalised_max_load(self.assignment)
-
-    def vertices_per_second(self) -> float:
-        """Engine-level throughput when available, wall-clock otherwise."""
-        if self.engine_stats is not None and self.engine_stats.seconds > 0:
-            return self.engine_stats.vertices_per_second
-        if self.seconds > 0:
-            return self.assignment.num_assigned / self.seconds
-        return 0.0
-
-
-def partition_with(
-    method: str,
-    graph: LabelledGraph,
-    events: list[StreamEvent],
-    *,
-    k: int,
-    capacity: int | None = None,
-    slack: float = 1.2,
-    workload: Workload | None = None,
-    window_size: int = 128,
-    motif_threshold: float = 0.2,
-    seed: int = 0,
-    rng: random.Random | None = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
-    stats_hooks: tuple[StatsHook, ...] = (),
-    **method_overrides,
-) -> MethodResult:
-    """Partition ``graph`` (already serialised as ``events``) with ``method``.
-
-    Offline methods see the whole graph (their defining advantage); every
-    streaming method consumes the stream through the engine, in batches of
-    ``batch_size`` events, with ``stats_hooks`` observing each batch.
-    Workload-needing methods (``loom``/``loom_ta``/``ta-ldg``/
-    ``offline_wa``) raise ``ValueError`` without a ``workload``.  All
-    randomness flows from the injected ``rng`` (or a ``random.Random``
-    seeded with ``seed``), never from the module-global generator.
-    """
-    spec = default_registry.resolve(method)
-    request = PartitionRequest(
-        graph=graph,
-        events=events,
-        k=k,
-        capacity=capacity,
-        slack=slack,
-        workload=workload,
-        window_size=window_size,
-        motif_threshold=motif_threshold,
-        seed=seed,
-        rng=rng,
-        options=method_overrides,
-    )
-    spec.check_request(request)
-    start = time.perf_counter()
-    if spec.kind == OFFLINE:
-        assignment = spec.build(request)
-        engine_stats = None
-    else:
-        partitioner = as_stream_partitioner(
-            spec.build(request), k=k, capacity=request.resolved_capacity()
-        )
-        engine = StreamingEngine(
-            partitioner, batch_size=batch_size, hooks=stats_hooks
-        )
-        assignment = engine.run(events)
-        engine_stats = engine.stats
-    seconds = time.perf_counter() - start
-    return MethodResult(method, assignment, seconds, engine_stats)
-
-
-@dataclass
-class AssignmentEvaluation:
-    """Structural + workload quality of one finished assignment."""
-
-    cut_fraction: float
-    max_load: float
-    remote_probability: float
-    remote_per_query: float
-    fully_local_rate: float
-    mean_cost: float
-
-
-def evaluate_assignment(
-    graph: LabelledGraph,
-    result: MethodResult,
-    workload: Workload,
-    *,
-    executions: int = 120,
-    seed: int = 99,
-    rng: random.Random | None = None,
-    latency: LatencyModel | None = None,
-) -> AssignmentEvaluation:
-    """Run the sampled query stream against the partitioned store.
-
-    The query sampler draws from ``rng`` when given, else from a fresh
-    ``random.Random(seed)`` -- reproducible by construction either way.
-    """
-    store = DistributedGraphStore(graph, result.assignment)
-    stats = run_workload(
-        store, workload, executions=executions, rng=rng or random.Random(seed)
-    )
-    model = latency or LatencyModel()
-    return AssignmentEvaluation(
-        cut_fraction=result.cut_fraction(graph),
-        max_load=result.max_load(),
-        remote_probability=stats.remote_probability,
-        remote_per_query=stats.remote_per_query,
-        fully_local_rate=stats.fully_local_rate,
-        mean_cost=stats.mean_cost(model),
-    )
+__all__ = [
+    "partition_with",
+    "evaluate_assignment",
+    "MethodResult",
+    "AssignmentEvaluation",
+    "STREAMING_METHODS",
+    "DEFAULT_LINEUP",
+]

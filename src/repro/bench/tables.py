@@ -76,6 +76,14 @@ class Table:
     def save_csv(self, path: str | Path) -> None:
         Path(path).write_text(self.to_csv(), encoding="utf-8")
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-plain representation (the CLI's ``--json`` output)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+        }
+
     def column(self, name: str) -> list[object]:
         """All values of one column (for assertions in tests/benches)."""
         if name not in self.columns:
@@ -101,7 +109,7 @@ def ascii_bar_chart(
     if not values:
         return out.getvalue()
     peak = max(values) or 1.0
-    label_width = max(len(l) for l in labels)
+    label_width = max(len(label) for label in labels)
     for label, value in zip(labels, values):
         bar = "#" * max(0, round(width * value / peak))
         out.write(f"{label.ljust(label_width)}  {bar} {value:.4f}\n")

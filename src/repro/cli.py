@@ -5,34 +5,49 @@
     loom-repro list                      # available experiments
     loom-repro methods                   # registered partitioners
     loom-repro experiment E2 A1          # run experiments, print tables
-    loom-repro experiment all --out results/
+    loom-repro experiment all --json     # ... or machine-readable JSON
     loom-repro demo                      # figure-1 walkthrough
-    loom-repro partition --graph g.txt --method loom -k 4 ...
-    loom-repro bench --out BENCH_PR2.json --baseline BENCH_PR1.json
+    loom-repro partition --graph g.txt --method loom -k 4 --json
+    loom-repro bench --out BENCH_PR3.json --baseline BENCH_PR2.json
 
 (Equivalently ``python -m repro.cli ...``.)
 
-Partitioner names are resolved exclusively through the
-:class:`~repro.engine.registry.PartitionerRegistry`; the CLI holds no
-method tables of its own.
+The whole partition → store → query lifecycle flows through the session
+façade (:mod:`repro.api`); partitioner names are resolved exclusively
+through the :class:`~repro.engine.registry.PartitionerRegistry`.  The CLI
+holds no method tables and no lifecycle glue of its own.
+
+Exit codes: ``0`` on success, ``2`` on operator errors (unknown
+experiment id, unknown method, unreadable graph/baseline file, invalid
+configuration).  Flag audit (2026-07): every flag of every subcommand
+below is consumed by its handler; the historical ``serve-demo`` idea
+never shipped, so there is no dead subcommand to remove.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from pathlib import Path
 
+from repro.api import Cluster, ClusterConfig
 from repro.bench.experiments import EXPERIMENTS, run_experiment
-from repro.bench.harness import partition_with
-from repro.cluster import DistributedGraphStore, run_workload
-from repro.engine.registry import default_registry
+from repro.engine.registry import UnknownPartitionerError, default_registry
+from repro.exceptions import ConfigurationError, GraphError
 from repro.graph.io import load_edge_list
-from repro.partitioning import edge_cut_fraction, normalised_max_load
 from repro.stream.sources import stream_from_graph
 from repro.workload import figure1_graph, figure1_workload
 from repro.workload.workloads import workload_from_graph
+
+#: Exit code for operator errors (argparse itself uses 2 as well).
+EXIT_USAGE = 2
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_USAGE
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -51,16 +66,34 @@ def _cmd_methods(_args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if "all" in args.ids else [i.upper() for i in args.ids]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        return _fail(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)} (or 'all')"
+        )
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+    payload = []
     for experiment_id in ids:
         tables = run_experiment(experiment_id, seed=args.seed, fast=args.fast)
+        if args.json:
+            payload.append(
+                {
+                    "id": experiment_id,
+                    "title": EXPERIMENTS[experiment_id].title,
+                    "tables": [table.as_dict() for table in tables],
+                }
+            )
         for index, table in enumerate(tables):
-            print(table.render())
+            if not args.json:
+                print(table.render())
             if out_dir is not None:
                 stem = f"{experiment_id.lower()}_{index}"
                 table.save_csv(out_dir / f"{stem}.csv")
+    if args.json:
+        print(json.dumps({"experiments": payload}, indent=2))
     return 0
 
 
@@ -77,51 +110,86 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     print("Workload:", workload, "\n")
     for method in ("hash", "ldg", "loom"):
         events = stream_from_graph(graph, ordering="random", rng=random.Random(0))
-        result = partition_with(
-            method, graph, events, k=2, capacity=5, workload=workload,
-            window_size=8, motif_threshold=0.6,
+        session = Cluster.open(
+            ClusterConfig(
+                partitions=2, method=method, capacity=5,
+                window_size=8, motif_threshold=0.6,
+            ),
+            workload=workload,
         )
-        store = DistributedGraphStore(graph, result.assignment)
-        stats = run_workload(store, workload, executions=150, rng=random.Random(1))
-        blocks = result.assignment.blocks()
-        square = {result.assignment.partition_of(v) for v in (1, 2, 5, 6)}
+        session.ingest(events, graph=graph)
+        report = session.run_workload(executions=150, rng=random.Random(1))
+        stats = session.stats()
+        blocks = session.assignment.blocks()
+        square = {session.partition_of(v) for v in (1, 2, 5, 6)}
         print(
             f"{method:5s} partitions={[sorted(b) for b in blocks]} "
-            f"cut={edge_cut_fraction(graph, result.assignment):.2f} "
-            f"P(remote)={stats.remote_probability:.3f} "
+            f"cut={stats.cut_fraction:.2f} "
+            f"P(remote)={report.remote_probability:.3f} "
             f"q1-square-colocated={'yes' if len(square) == 1 else 'no'}"
         )
     return 0
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    graph = load_edge_list(args.graph)
-    rng = random.Random(args.seed)
-    spec = default_registry.resolve(args.method)
+    try:
+        graph = load_edge_list(args.graph)
+    except OSError as error:
+        return _fail(f"cannot read graph file {args.graph!r}: {error}")
+    except GraphError as error:
+        return _fail(f"cannot parse graph file {args.graph!r}: {error}")
+    try:
+        spec = default_registry.resolve(args.method)
+        config = ClusterConfig(
+            partitions=args.k,
+            method=args.method,
+            window_size=args.window,
+            ordering=args.ordering,
+            seed=args.seed,
+        )
+    except (UnknownPartitionerError, ConfigurationError) as error:
+        return _fail(str(error))
     if spec.needs_workload:
         workload = workload_from_graph(
             graph, count=args.queries, rng=random.Random(args.seed + 1)
         )
     else:
         workload = None
-    events = stream_from_graph(graph, ordering=args.ordering, rng=rng)
-    result = partition_with(
-        args.method, graph, events, k=args.k, workload=workload,
-        seed=args.seed, window_size=args.window,
+    events = stream_from_graph(
+        graph, ordering=args.ordering, rng=random.Random(args.seed)
     )
-    print(f"method={args.method} k={args.k} ordering={args.ordering}")
-    print(f"cut_fraction={edge_cut_fraction(graph, result.assignment):.4f}")
-    print(f"max_load={normalised_max_load(result.assignment):.4f}")
-    print(f"sizes={result.assignment.sizes()}")
-    if result.engine_stats is not None:
-        print(f"throughput={result.vertices_per_second():.0f} vertices/s")
-    if workload is not None:
-        store = DistributedGraphStore(graph, result.assignment)
-        stats = run_workload(
-            store, workload, executions=args.queries * 20,
-            rng=random.Random(args.seed + 2),
+    session = Cluster.open(config, workload=workload)
+    session.ingest(events, graph=graph)
+    stats = session.stats()
+    payload = {
+        "method": args.method,
+        "k": args.k,
+        "ordering": args.ordering,
+        "seed": args.seed,
+        "cut_fraction": stats.cut_fraction,
+        "max_load": stats.max_load,
+        "sizes": stats.sizes,
+    }
+    if spec.is_streaming:
+        payload["vertices_per_second"] = round(
+            session.engine_stats.vertices_per_second
         )
-        print(f"p_remote={stats.remote_probability:.4f}")
+    if workload is not None:
+        report = session.run_workload(
+            executions=args.queries * 20, rng=random.Random(args.seed + 2)
+        )
+        payload["p_remote"] = report.remote_probability
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"method={args.method} k={args.k} ordering={args.ordering}")
+    print(f"cut_fraction={payload['cut_fraction']:.4f}")
+    print(f"max_load={payload['max_load']:.4f}")
+    print(f"sizes={payload['sizes']}")
+    if "vertices_per_second" in payload:
+        print(f"throughput={payload['vertices_per_second']:.0f} vertices/s")
+    if "p_remote" in payload:
+        print(f"p_remote={payload['p_remote']:.4f}")
     return 0
 
 
@@ -133,15 +201,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_bench_json(args.baseline)
+        except OSError as error:
+            return _fail(f"cannot read baseline {args.baseline!r}: {error}")
+        except ValueError as error:
+            return _fail(str(error))
     payload = run_bench_suite(
         seed=args.seed, fast=not args.full, hotpath=not args.no_hotpath
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
     print(f"{len(payload['experiments'])} experiments in {total:.1f}s")
-    if args.baseline:
+    if baseline is not None:
         print(f"deltas vs {args.baseline}:")
-        for line in diff_bench(payload, load_bench_json(args.baseline)):
+        for line in diff_bench(payload, baseline):
             print(f"  {line}")
     print(f"wrote {target}")
     return 0
@@ -165,6 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--fast", action="store_true", help="smaller grids")
     exp.add_argument("--out", help="directory for CSV output")
+    exp.add_argument("--json", action="store_true",
+                     help="print tables as one JSON document")
     exp.set_defaults(fn=_cmd_experiment)
 
     sub.add_parser("demo", help="figure-1 walkthrough").set_defaults(fn=_cmd_demo)
@@ -182,12 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--queries", type=int, default=4,
                       help="queries sampled from the graph for workload-aware methods")
     part.add_argument("--seed", type=int, default=0)
+    part.add_argument("--json", action="store_true",
+                      help="print the typed result as JSON")
     part.set_defaults(fn=_cmd_partition)
 
     bench = sub.add_parser(
         "bench", help="run the benchmark suite, write machine-readable JSON"
     )
-    bench.add_argument("--out", default="BENCH_PR2.json")
+    bench.add_argument("--out", default="BENCH_PR3.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--full", action="store_true", help="full grids (slow)")
     bench.add_argument("--no-hotpath", action="store_true",

@@ -26,17 +26,60 @@ class DistributedGraphStore:
     """
 
     def __init__(
-        self, graph: LabelledGraph, assignment: PartitionAssignment
+        self,
+        graph: LabelledGraph,
+        assignment: PartitionAssignment,
+        *,
+        require_complete: bool = True,
     ) -> None:
-        for vertex in graph.vertices():
-            if assignment.partition_of(vertex) is None:
-                raise PartitioningError(
-                    f"vertex {vertex!r} has no partition; the store needs a "
-                    "complete assignment"
-                )
+        if require_complete:
+            for vertex in graph.vertices():
+                if assignment.partition_of(vertex) is None:
+                    raise PartitioningError(
+                        f"vertex {vertex!r} has no partition; the store "
+                        "needs a complete assignment"
+                    )
         self.graph = graph
         self.assignment = assignment
         self._replicas: dict[Vertex, set[int]] = {}
+
+    @classmethod
+    def incremental(cls, k: int, capacity: int) -> "DistributedGraphStore":
+        """An empty store to be grown element by element.
+
+        The session layer (:mod:`repro.api`) feeds :meth:`add_vertex` /
+        :meth:`add_edge` / :meth:`assign_vertex` as the stream is
+        consumed, so the cluster state the executor queries is maintained
+        *during* ingest rather than rebuilt from a finished assignment.
+        Query it only once :attr:`is_complete` holds (the executor assumes
+        every stored vertex has a partition).
+        """
+        return cls(
+            LabelledGraph(),
+            PartitionAssignment(k, capacity),
+            require_complete=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex, label: Label) -> None:
+        """Record a newly arrived (not yet assigned) vertex."""
+        self.graph.add_vertex(vertex, label)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Record a newly arrived edge (both endpoints must be stored)."""
+        self.graph.add_edge(u, v)
+
+    def assign_vertex(self, vertex: Vertex, partition: int) -> None:
+        """Place a stored vertex into ``partition`` (once, capacity
+        enforced by the underlying assignment)."""
+        self.assignment.assign(vertex, partition)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every stored vertex has been assigned a partition."""
+        return self.assignment.num_assigned == self.graph.num_vertices
 
     # ------------------------------------------------------------------
     @property
@@ -114,6 +157,18 @@ class DistributedGraphStore:
 
     def replicas_of(self, vertex: Vertex) -> frozenset[int]:
         return frozenset(self._replicas.get(vertex, ()))
+
+    def clear_replicas(self) -> int:
+        """Drop every replica (returns how many placements were dropped).
+
+        Replicas are only meaningful relative to the placement they were
+        provisioned under; callers adopting a new assignment (offline
+        re-ingest, repartitioning in place) must invalidate them or
+        locality answers would credit copies that no longer exist.
+        """
+        dropped = self.total_replicas()
+        self._replicas.clear()
+        return dropped
 
     def total_replicas(self) -> int:
         """Total number of replica placements across all vertices."""

@@ -206,6 +206,12 @@ class StreamingEngine:
     partitioner: StreamPartitioner
     batch_size: int = DEFAULT_BATCH_SIZE
     hooks: Sequence[StatsHook] = field(default_factory=tuple)
+    #: Optional observer handed every raw batch *before* the partitioner
+    #: processes it.  The session layer (:mod:`repro.api`) mirrors batch
+    #: events into the distributed store's graph here, so store
+    #: maintenance rides the same batching loop as placement instead of
+    #: replaying the stream a second time.
+    event_hook: Callable[[Sequence[StreamEvent]], None] | None = None
     stats: EngineStats = field(init=False)
 
     def __post_init__(self) -> None:
@@ -224,8 +230,11 @@ class StreamingEngine:
         loom_stats = getattr(partitioner, "stats", None)
         batch_size = self.batch_size
         total = len(events)
+        event_hook = self.event_hook
         for index, start in enumerate(range(0, total, batch_size)):
             batch = events[start : start + batch_size]
+            if event_hook is not None:
+                event_hook(batch)
             began = time.perf_counter()
             if process_batch is not None:
                 vertices, edges = process_batch(batch)

@@ -55,3 +55,9 @@ class SignatureError(ReproError):
 
 class ConfigurationError(ReproError, ValueError):
     """A configuration object was constructed with invalid values."""
+
+
+class SessionError(ReproError):
+    """A :mod:`repro.api` session command was issued in the wrong state
+    (querying before ingest completed, repartitioning an empty cluster,
+    restoring from an incompatible snapshot, ...)."""

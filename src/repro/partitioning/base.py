@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
-from collections.abc import Collection, Sequence
+from collections.abc import Callable, Collection, Sequence
 
 from repro.exceptions import CapacityExceededError, PartitioningError
 from repro.graph.labelled import Label, LabelledGraph, Vertex
@@ -46,6 +46,12 @@ class PartitionAssignment:
         self._sizes: list[int] = [0] * k
         #: pending vertex -> placed-neighbour count per partition.
         self._pending_counts: dict[Vertex, list[int]] = {}
+        #: Optional ``(vertex, partition)`` observer invoked after every
+        #: successful :meth:`assign`.  The session layer
+        #: (:mod:`repro.api`) uses it to mirror placements into the
+        #: distributed store as the stream is consumed, instead of
+        #: rebuilding the store from the finished assignment.
+        self.on_assign: Callable[[Vertex, int], None] | None = None
 
     # ------------------------------------------------------------------
     def assign(self, vertex: Vertex, partition: int) -> None:
@@ -63,6 +69,8 @@ class PartitionAssignment:
         self._partition_of[vertex] = partition
         self._sizes[partition] += 1
         self._pending_counts.pop(vertex, None)
+        if self.on_assign is not None:
+            self.on_assign(vertex, partition)
 
     def move(self, vertex: Vertex, partition: int) -> None:
         """Re-place an assigned vertex (offline refinement only)."""
@@ -113,6 +121,22 @@ class PartitionAssignment:
     def partition_of(self, vertex: Vertex) -> int | None:
         """The partition hosting ``vertex``, or ``None`` if unassigned."""
         return self._partition_of.get(vertex)
+
+    def grow_capacity(self, capacity: int) -> None:
+        """Raise the per-partition capacity (never lowers it).
+
+        The balance constraint ``C`` is relative to the graph being
+        partitioned; when a session ingests more data into a live
+        cluster, the derived ``ceil(slack * n / k)`` bound grows with
+        ``n`` and the assignment must follow, or mid-stream placements
+        would hit a stale ceiling.  Shrinking is refused: placements made
+        under the old bound could already violate a smaller one.
+        """
+        if capacity < self.capacity:
+            raise PartitioningError(
+                f"cannot shrink capacity from {self.capacity} to {capacity}"
+            )
+        self.capacity = capacity
 
     # ------------------------------------------------------------------
     def size(self, partition: int) -> int:

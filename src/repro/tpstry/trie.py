@@ -22,7 +22,7 @@ tests assert.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterator
 from collections import deque
 
 from repro.exceptions import WorkloadError

@@ -8,7 +8,7 @@ frequency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import WorkloadError
 from repro.graph.isomorphism import find_matches

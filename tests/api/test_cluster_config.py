@@ -1,0 +1,66 @@
+"""ClusterConfig validation and round-trip."""
+
+import pytest
+
+from repro.api import ClusterConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ClusterConfig()
+        assert config.partitions == 4
+        assert config.method == "loom"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"partitions": 0},
+            {"capacity": 0},
+            {"slack": 0.9},
+            {"window_size": 0},
+            {"motif_threshold": 0.0},
+            {"batch_size": 0},
+            {"ordering": "sideways"},
+            {"replication_budget": -1},
+            {"method": "definitely-not-registered"},
+            {"remote_cost": 0.5, "local_cost": 1.0},
+            {"local_cost": -1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(**kwargs)
+
+    def test_unknown_method_message_lists_known_methods(self):
+        with pytest.raises(ConfigurationError, match="loom"):
+            ClusterConfig(method="nope")
+
+    def test_configs_are_immutable(self):
+        config = ClusterConfig()
+        with pytest.raises(AttributeError):
+            config.partitions = 8
+
+
+class TestRoundTrip:
+    def test_as_dict_from_dict(self):
+        config = ClusterConfig(
+            partitions=8,
+            method="ldg",
+            capacity=40,
+            window_size=32,
+            ordering="bfs",
+            seed=9,
+            method_options={"x": 1},
+        )
+        rebuilt = ClusterConfig.from_dict(config.as_dict())
+        assert rebuilt == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown config"):
+            ClusterConfig.from_dict({"partitions": 2, "bogus": True})
+
+    def test_latency_model_reflects_costs(self):
+        config = ClusterConfig(local_cost=2.0, remote_cost=50.0)
+        model = config.latency_model()
+        assert model.cost(1, 1) == 52.0

@@ -7,10 +7,9 @@ import pytest
 from repro.cluster import DistributedGraphStore, run_workload
 from repro.cluster.executor import TraversalLedger
 from repro.exceptions import ConfigurationError, PartitioningError
-from repro.graph import LabelledGraph
 from repro.partitioning import PartitionAssignment
 from repro.replication import HotspotReplicator
-from repro.workload import PatternQuery, Workload, figure1_graph, figure1_workload
+from repro.workload import figure1_graph, figure1_workload
 
 
 def split_store() -> DistributedGraphStore:

@@ -1,0 +1,108 @@
+"""Incremental store maintenance: parity with build-at-end construction."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import partition_with
+from repro.cluster import DistributedGraphStore, run_workload
+from repro.exceptions import PartitioningError
+from repro.graph.generators import plant_motifs
+from repro.graph import LabelledGraph
+from repro.stream.events import VertexArrival
+from repro.stream.sources import stream_from_graph
+from repro.workload import PatternQuery, Workload
+
+
+@pytest.fixture(scope="module")
+def finished():
+    rng = random.Random(2)
+    abc = LabelledGraph.path("abc")
+    graph = plant_motifs(
+        [(abc, 15)], noise_vertices=40, noise_edge_probability=0.01, rng=rng
+    )
+    events = stream_from_graph(graph, ordering="random", rng=random.Random(3))
+    result = partition_with("ldg", graph, events, k=4, seed=1)
+    workload = Workload([PatternQuery("abc", abc)])
+    return graph, events, result.assignment, workload
+
+
+def build_incremental(graph, events, assignment):
+    """Feed the store exactly as a session ingest does: graph elements in
+    stream order, then each placement as it happened."""
+    store = DistributedGraphStore.incremental(
+        assignment.k, assignment.capacity
+    )
+    for event in events:
+        if isinstance(event, VertexArrival):
+            store.add_vertex(event.vertex, event.label)
+        else:
+            store.add_edge(event.u, event.v)
+    for vertex, partition in assignment.assigned().items():
+        assert not store.is_complete
+        store.assign_vertex(vertex, partition)
+    return store
+
+
+class TestParityWithBuildAtEnd:
+    def test_structure_and_locality_identical(self, finished):
+        graph, events, assignment, _ = finished
+        built = DistributedGraphStore(graph, assignment)
+        incremental = build_incremental(graph, events, assignment)
+        assert incremental.is_complete
+        assert set(incremental.graph.vertices()) == set(graph.vertices())
+        assert set(incremental.graph.edges()) == set(graph.edges())
+        for vertex in graph.vertices():
+            assert incremental.label(vertex) == built.label(vertex)
+            assert incremental.partition_of(vertex) == built.partition_of(
+                vertex
+            )
+            assert incremental.neighbours(vertex) == built.neighbours(vertex)
+        for u, v in graph.edges():
+            assert incremental.is_remote(u, v) == built.is_remote(u, v)
+        for label in graph.labels():
+            assert sorted(
+                incremental.vertices_with_label(label), key=repr
+            ) == sorted(built.vertices_with_label(label), key=repr)
+        assert incremental.shard_sizes() == built.shard_sizes()
+
+    def test_query_results_identical(self, finished):
+        graph, events, assignment, workload = finished
+        built = DistributedGraphStore(graph, assignment)
+        incremental = build_incremental(graph, events, assignment)
+        expected = run_workload(
+            built, workload, executions=40, rng=random.Random(7)
+        )
+        observed = run_workload(
+            incremental, workload, executions=40, rng=random.Random(7)
+        )
+        assert observed.matches == expected.matches
+        assert observed.remote_probability == expected.remote_probability
+        assert observed.fully_local == expected.fully_local
+
+
+class TestIncrementalContract:
+    def test_default_constructor_still_requires_completeness(self, finished):
+        graph, _, _, _ = finished
+        from repro.partitioning.base import PartitionAssignment
+
+        empty = PartitionAssignment(2, graph.num_vertices)
+        with pytest.raises(PartitioningError, match="complete assignment"):
+            DistributedGraphStore(graph, empty)
+
+    def test_assign_vertex_enforces_range_and_uniqueness(self):
+        store = DistributedGraphStore.incremental(2, 4)
+        store.add_vertex(1, "a")
+        with pytest.raises(PartitioningError):
+            store.assign_vertex(1, 5)
+        store.assign_vertex(1, 0)
+        with pytest.raises(PartitioningError):
+            store.assign_vertex(1, 1)
+
+    def test_duplicate_edge_mirroring_is_idempotent(self):
+        store = DistributedGraphStore.incremental(2, 4)
+        store.add_vertex(1, "a")
+        store.add_vertex(2, "b")
+        store.add_edge(1, 2)
+        store.add_edge(2, 1)
+        assert store.graph.num_edges == 1

@@ -2,16 +2,11 @@
 
 import random
 
-import pytest
 
 from repro.core import LoomConfig, LoomPartitioner
 from repro.graph import LabelledGraph
 from repro.graph.generators import plant_motifs
-from repro.partitioning import (
-    LinearDeterministicGreedy,
-    edge_cut_fraction,
-    partition_graph,
-)
+from repro.partitioning import LinearDeterministicGreedy
 from repro.stream.sources import stream_from_graph, stream_vertices
 from repro.workload import PatternQuery, Workload, figure1_graph, figure1_workload
 

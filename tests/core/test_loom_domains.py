@@ -9,7 +9,6 @@ baseline's.
 
 import random
 
-import pytest
 
 from repro.core import LoomConfig, LoomPartitioner
 from repro.datasets import (

@@ -1,6 +1,5 @@
 """Tests for the graph-stream motif matcher, including the figure-3 case."""
 
-import pytest
 
 from repro.core.matcher import StreamMotifMatcher
 from repro.graph import LabelledGraph

@@ -12,7 +12,6 @@ from repro.datasets import (
     social_network,
     social_workload,
 )
-from repro.graph import is_connected
 from repro.graph.traversal import connected_components
 
 

@@ -227,3 +227,15 @@ class TestEngineMechanics:
         engine.run(events)
         assert engine.stats.events_per_second >= 0.0
         assert engine.stats.vertices_per_second >= 0.0
+
+    def test_event_hook_sees_every_event_in_order(self, figure1):
+        _, _, events = figure1
+        seen = []
+        adapter = VertexStreamAdapter(
+            LinearDeterministicGreedy(), k=2, capacity=5
+        )
+        engine = StreamingEngine(
+            adapter, batch_size=3, event_hook=seen.extend
+        )
+        engine.run(events)
+        assert seen == list(events)

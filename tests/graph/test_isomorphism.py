@@ -5,7 +5,6 @@ queries; the text states the answer to q1 is the sub-graph over vertices
 {1, 2, 5, 6}.  We reproduce that exact check here.
 """
 
-import pytest
 
 from repro.graph import (
     LabelledGraph,

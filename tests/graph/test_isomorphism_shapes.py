@@ -4,7 +4,6 @@ The matcher is the evaluation's ground truth, so its behaviour on cliques,
 bipartite shapes, stars and self-similar patterns gets its own suite.
 """
 
-import pytest
 
 from repro.graph import (
     LabelledGraph,

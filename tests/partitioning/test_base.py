@@ -16,7 +16,6 @@ from repro.partitioning import (
 )
 from repro.partitioning.base import default_capacity
 from repro.stream import EdgeArrival, VertexArrival
-from repro.stream.sources import stream_from_graph
 
 
 class TestPartitionAssignment:

@@ -1,10 +1,9 @@
 """Tests for the command-line interface."""
 
+import json
 import random
 
-import pytest
-
-from repro.cli import main
+from repro.cli import EXIT_USAGE, main
 from repro.graph.generators import erdos_renyi
 from repro.graph.io import save_edge_list
 
@@ -40,9 +39,20 @@ class TestExperiment:
         assert csvs
         assert "group_matches" in csvs[0].read_text()
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            main(["experiment", "E99", "--fast"])
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["experiment", "E99", "--fast"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "E99" in err
+
+    def test_json_output(self, capsys):
+        assert main(["experiment", "A2", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (experiment,) = payload["experiments"]
+        assert experiment["id"] == "A2"
+        table = experiment["tables"][0]
+        assert "group_matches" in table["columns"]
+        assert table["rows"]
 
 
 class TestPartition:
@@ -69,3 +79,34 @@ class TestPartition:
         ) == 0
         out = capsys.readouterr().out
         assert "p_remote=" in out
+
+    def test_partition_json_output(self, tmp_path, capsys):
+        graph = erdos_renyi(30, 0.15, rng=random.Random(5))
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        assert main(
+            [
+                "partition", "--graph", str(path), "--method", "ldg",
+                "-k", "2", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "ldg"
+        assert payload["k"] == 2
+        assert sum(payload["sizes"]) == 30
+        assert 0.0 <= payload["cut_fraction"] <= 1.0
+
+    def test_unknown_method_exits_nonzero(self, tmp_path, capsys):
+        graph = erdos_renyi(10, 0.3, rng=random.Random(6))
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        assert main(
+            ["partition", "--graph", str(path), "--method", "nope"]
+        ) == EXIT_USAGE
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_missing_graph_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(
+            ["partition", "--graph", str(tmp_path / "absent.txt")]
+        ) == EXIT_USAGE
+        assert "cannot read graph file" in capsys.readouterr().err

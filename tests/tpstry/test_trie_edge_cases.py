@@ -1,10 +1,8 @@
 """Edge cases of TPSTry++ construction and the streaming query window."""
 
-import random
 
 import pytest
 
-from repro.exceptions import WorkloadError
 from repro.graph import LabelledGraph
 from repro.signatures import SignatureScheme
 from repro.tpstry import StreamingTPSTry, TPSTryPP
