@@ -1,0 +1,26 @@
+"""E13: dynamic-graph churn (deletions + live rebalancing).
+
+Shape reproduced: under mixed insert/delete streams the incremental
+session state stays exactly equal to an offline rebuild from the
+surviving events (``state_ok``), retraction accounting only engages when
+deletions are present, and live rebalancing never worsens the cut it set
+out to improve.
+"""
+
+from conftest import rows_by
+
+
+def test_e13_churn(run_and_show):
+    churn, rebalance = run_and_show("E13")
+    for row in churn.rows:
+        # The differential invariant: incremental == offline rebuild.
+        assert row["state_ok"] is True
+        assert row["events_per_second"] > 0
+    (insert_only,) = rows_by(churn, delete_fraction=0.0)
+    assert insert_only["removals"] == 0
+    assert insert_only["retracted_matches"] == 0
+    for row in rows_by(churn, delete_fraction=0.3):
+        assert row["removals"] > 0
+    for row in rebalance.rows:
+        assert row["cut_after"] <= row["cut_before"]
+        assert row["moved"] <= row["candidates"]

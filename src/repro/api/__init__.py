@@ -25,7 +25,9 @@ from repro.api.results import (
     IngestReport,
     MethodResult,
     QueryResult,
+    RebalanceReport,
     RepartitionReport,
+    RetractReport,
     WorkloadReport,
 )
 from repro.api.session import (
@@ -47,7 +49,9 @@ __all__ = [
     "IngestReport",
     "QueryResult",
     "WorkloadReport",
+    "RebalanceReport",
     "RepartitionReport",
+    "RetractReport",
     "MethodResult",
     "AssignmentEvaluation",
     "SNAPSHOT_SCHEMA",

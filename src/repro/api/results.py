@@ -69,6 +69,8 @@ class IngestReport:
     seconds: float
     #: Total vertices assigned across the whole session after this ingest.
     assigned_total: int
+    #: Explicit deletion events (edge + vertex removals) in the stream.
+    removals: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -164,6 +166,58 @@ class ClusterStats:
 
     def as_dict(self) -> dict[str, Any]:
         return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class RetractReport:
+    """Outcome of explicitly deleting elements from a live cluster."""
+
+    #: Vertices deleted (their remaining edges cascade with them).
+    vertices_removed: int
+    #: Edges deleted by explicit :class:`~repro.stream.events.EdgeRemoval`.
+    edges_removed: int
+    #: Edges that vanished implicitly with a deleted endpoint.
+    cascaded_edges: int
+    #: Partial motif matches the live matcher killed (0 when the method
+    #: keeps no matcher, or when nothing was buffered).
+    matches_retracted: int
+    seconds: float
+    #: Resident graph size after the retraction.
+    resident_vertices: int
+    resident_edges: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceReport:
+    """Delta of live-migrating the worst-placed vertices."""
+
+    total_vertices: int
+    #: Vertices whose best relocation met the gain threshold.
+    candidates: int
+    #: Vertices actually migrated (re-checked at move time).
+    moved_vertices: int
+    #: The caller's move budget (``None`` = unbounded single pass).
+    max_moves: int | None
+    cut_before: float
+    cut_after: float
+    max_load_before: float
+    max_load_after: float
+    #: Replicas dropped because a migrated primary landed on them.
+    replicas_dropped: int
+
+    @property
+    def moved_fraction(self) -> float:
+        if self.total_vertices == 0:
+            return 0.0
+        return self.moved_vertices / self.total_vertices
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["moved_fraction"] = round(self.moved_fraction, 4)
+        return payload
 
 
 @dataclass(frozen=True, slots=True)

@@ -39,7 +39,9 @@ from repro.api.results import (
     ClusterStats,
     IngestReport,
     QueryResult,
+    RebalanceReport,
     RepartitionReport,
+    RetractReport,
     WorkloadReport,
 )
 from repro.cluster.executor import DistributedQueryExecutor
@@ -53,12 +55,18 @@ from repro.engine.pipeline import (
 )
 from repro.engine.registry import OFFLINE, PartitionRequest, default_registry
 from repro.exceptions import SessionError
-from repro.graph.labelled import LabelledGraph, Vertex
+from repro.graph.labelled import LabelledGraph, Vertex, edge_key
 from repro.partitioning import edge_cut_fraction, normalised_max_load
 from repro.partitioning.base import default_capacity
 from repro.replication.hotspot import HotspotReplicator, ReplicationReport
-from repro.stream.events import StreamEvent, VertexArrival
-from repro.stream.sources import stream_from_graph
+from repro.stream.events import (
+    EdgeArrival,
+    EdgeRemoval,
+    StreamEvent,
+    VertexArrival,
+    VertexRemoval,
+)
+from repro.stream.sources import replay, stream_from_graph
 from repro.workload.query import PatternQuery
 from repro.workload.workloads import Workload
 
@@ -76,8 +84,15 @@ REPLICATION_SEED_OFFSET = 23
 
 
 def _builtin_datasets():
-    """Name -> (graph generator, workload generator) for string ingest."""
+    """Name -> (source generator, workload generator) for string ingest.
+
+    Source generators return either a :class:`LabelledGraph` (serialised
+    under the session's ordering) or a ready event stream (the ``churn``
+    dataset, whose mixed insert/delete sequence *is* the dataset).
+    """
     from repro.datasets import (
+        churn_stream,
+        churn_workload,
         citation_network,
         citation_workload,
         fraud_network,
@@ -93,6 +108,7 @@ def _builtin_datasets():
         "fraud": (fraud_network, fraud_workload),
         "citation": (citation_network, citation_workload),
         "protein": (protein_network, protein_workload),
+        "churn": (churn_stream, churn_workload),
     }
 
 
@@ -281,22 +297,32 @@ class Session:
             source, size=size, graph=graph, rng=rng, seed=seed
         )
         began = time.perf_counter()
-        vertices = sum(
-            1 for event in events if isinstance(event, VertexArrival)
-        )
-        edges = len(events) - vertices
+        vertices = edges = removals = 0
+        for event in events:
+            if isinstance(event, VertexArrival):
+                vertices += 1
+            elif isinstance(event, EdgeArrival):
+                edges += 1
+            else:
+                removals += 1
         self._grow_capacity(vertices)
         if self._spec.kind == OFFLINE:
             self._ingest_offline(events, source_graph)
         else:
-            partitioner = self._ensure_partitioner(
-                events, source_graph, incoming=vertices
+            partitioner, premirrored = self._ensure_partitioner(
+                events,
+                source_graph,
+                incoming=vertices,
+                has_removals=removals > 0,
             )
             engine = StreamingEngine(
                 partitioner,
                 batch_size=self.config.batch_size,
                 hooks=tuple(stats_hooks),
-                event_hook=self._mirror_batch,
+                # Removals are not idempotent the way re-adds are, so a
+                # stream already materialised whole by the partitioner
+                # builder must not be mirrored a second time per batch.
+                event_hook=None if premirrored else self._mirror_batch,
             )
             engine.run(events)
             self._merge_engine_stats(engine.stats)
@@ -307,6 +333,7 @@ class Session:
             edges=edges,
             seconds=seconds,
             assigned_total=self.store.assignment.num_assigned,
+            removals=removals,
         )
 
     def _adopt_workload(self, workload: Workload) -> None:
@@ -413,26 +440,38 @@ class Session:
         source_graph: LabelledGraph | None,
         *,
         incoming: int,
+        has_removals: bool = False,
     ):
         """Build the streaming partitioner on first ingest (capacity and
         size hints need the stream), wire its assignment into the store.
+        Returns ``(partitioner, premirrored)``.
 
-        When only raw events were given, they are materialised straight
-        into the store's own graph (one pass, no throwaway copy) so
-        builders that read size hints (Fennel's ``n``/``m``) see the full
-        stream; the engine's per-batch mirror then no-ops on re-adds.
+        When only raw *arrival* events were given, they are materialised
+        straight into the store's own graph (one pass, no throwaway
+        copy) so builders that read size hints (Fennel's ``n``/``m``)
+        see the full stream; ``premirrored`` is then True and the caller
+        must skip the engine's per-batch mirror for this ingest.  A
+        churn stream cannot take that shortcut -- the store must see
+        removals in stream order, interleaved with the placements the
+        partitioner mirrors in -- so the hint graph is a throwaway
+        replay (the survivors) and per-batch mirroring stays on.
         """
         if self._partitioner is not None:
-            return self._partitioner
+            return self._partitioner, False
         capacity = self._resolve_capacity(
             source_graph.num_vertices if source_graph is not None else incoming
         )
+        premirrored = False
         if source_graph is not None:
             hint = source_graph
             self._ensure_store(capacity)
+        elif has_removals:
+            self._ensure_store(capacity)
+            hint = replay(events)
         else:
             store = self._ensure_store(capacity)
             self._mirror_batch(events)
+            premirrored = True
             hint = store.graph
         request = self._build_request(events, hint, capacity)
         partitioner = as_stream_partitioner(
@@ -446,17 +485,27 @@ class Session:
         for vertex, partition in store.assignment.assigned().items():
             partitioner.assignment.assign(vertex, partition)
         partitioner.assignment.on_assign = store.assign_vertex
+        # Churn mirror: retractions replay into the store's assignment in
+        # the partitioner's own processing order, exactly like placements
+        # (the graph side of a removal rides the batch event hook).
+        partitioner.assignment.on_remove = store.assignment.discard
         self._partitioner = partitioner
-        return partitioner
+        return partitioner, premirrored
 
     def _mirror_batch(self, batch: Sequence[StreamEvent]) -> None:
-        """Engine event hook: grow the store graph with each raw batch."""
+        """Engine event hook: apply each raw batch to the store graph --
+        arrivals grow it, removals retract (placement slots and replica
+        entries of a deleted vertex go with it)."""
         store = self._store
         for event in batch:
             if isinstance(event, VertexArrival):
                 store.add_vertex(event.vertex, event.label)
-            else:
+            elif isinstance(event, EdgeArrival):
                 store.add_edge(event.u, event.v)
+            elif isinstance(event, EdgeRemoval):
+                store.remove_edge(event.u, event.v)
+            else:
+                store.remove_vertex(event.vertex)
 
     def _ingest_offline(
         self,
@@ -700,6 +749,173 @@ class Session:
             cut_after=edge_cut_fraction(new_store.graph, new_store.assignment),
             max_load_after=normalised_max_load(new_store.assignment),
         )
+
+    # ------------------------------------------------------------------
+    # Churn: explicit retraction and live rebalancing
+    # ------------------------------------------------------------------
+    def retract(
+        self,
+        *,
+        vertices: Sequence[Vertex] = (),
+        edges: Sequence[tuple[Vertex, Vertex]] = (),
+    ) -> RetractReport:
+        """Explicitly delete resident elements from the live cluster.
+
+        ``edges`` are retracted first, then ``vertices`` (each cascading
+        over its remaining edges), all validated against the resident
+        graph up front -- a retraction either applies whole or raises
+        :class:`SessionError` without touching anything.  The removal
+        events flow through the same engine/mirror pipeline as ingest,
+        so the store, the partitioner's assignment and (when LOOM is
+        live) the window/matcher all unwind consistently.  Removals free
+        partition capacity; an explicit ``config.capacity`` is
+        unaffected.
+        """
+        self._require_complete()
+        store = self.store
+        graph = store.graph
+        unique_vertices = list(dict.fromkeys(vertices))
+        unique_edges: dict[tuple[Vertex, Vertex], None] = {}
+        for u, v in edges:
+            if not graph.has_edge(u, v):
+                raise SessionError(f"edge ({u!r}, {v!r}) is not resident")
+            unique_edges[edge_key(u, v)] = None
+        missing = [v for v in unique_vertices if not graph.has_vertex(v)]
+        if missing:
+            raise SessionError(f"vertices not resident: {missing!r}")
+        began = time.perf_counter()
+        events: list[StreamEvent] = [
+            EdgeRemoval(u, v, t)
+            for t, (u, v) in enumerate(unique_edges)
+        ]
+        events.extend(
+            VertexRemoval(vertex, len(events) + t)
+            for t, vertex in enumerate(unique_vertices)
+        )
+        edges_before = graph.num_edges
+        matcher = getattr(self._partitioner, "matcher", None)
+        retracted_before = (
+            matcher.stats["retracted"] if matcher is not None else 0
+        )
+        if self._partitioner is not None:
+            engine = StreamingEngine(
+                self._partitioner,
+                batch_size=self.config.batch_size,
+                event_hook=self._mirror_batch,
+            )
+            engine.run(events)
+            self._merge_engine_stats(engine.stats)
+        else:
+            # Offline/restored session without a live streaming
+            # partitioner: the store is the only state to unwind.
+            self._mirror_batch(events)
+        total_edges_gone = edges_before - graph.num_edges
+        return RetractReport(
+            vertices_removed=len(unique_vertices),
+            edges_removed=len(unique_edges),
+            cascaded_edges=total_edges_gone - len(unique_edges),
+            matches_retracted=(
+                matcher.stats["retracted"] - retracted_before
+                if matcher is not None
+                else 0
+            ),
+            seconds=time.perf_counter() - began,
+            resident_vertices=graph.num_vertices,
+            resident_edges=graph.num_edges,
+        )
+
+    def rebalance(
+        self, *, max_moves: int | None = None, min_gain: int = 1
+    ) -> RebalanceReport:
+        """Live-migrate the worst-placed vertices and report the delta.
+
+        Where :meth:`repartition` re-streams the whole resident graph,
+        rebalancing is the incremental counterpart churn calls for:
+        score every vertex's best relocation by the edges it would
+        localise (``gain = placed neighbours at the target - placed
+        neighbours at home``), then greedily migrate the highest-gain
+        vertices -- re-checking each gain at move time, respecting
+        capacity, at most ``max_moves`` of them (``None`` = every
+        candidate, one pass).  Gains below ``min_gain`` stay put.
+        Primary copies landing on one of their own replicas absorb it.
+        """
+        self._require_complete()
+        if max_moves is not None and max_moves < 0:
+            raise SessionError("max_moves must be >= 0 (or None)")
+        if min_gain < 1:
+            raise SessionError("min_gain must be >= 1")
+        store = self.store
+        graph = store.graph
+        assignment = store.assignment
+        cut_before = edge_cut_fraction(graph, assignment)
+        load_before = normalised_max_load(assignment)
+        candidates = [
+            (gain, repr(vertex), vertex)
+            for vertex in graph.vertices()
+            for gain in (self._relocation_gain(vertex),)
+            if gain is not None and gain[0] >= min_gain
+        ]
+        candidates.sort(key=lambda entry: (-entry[0][0], entry[1]))
+        moved = 0
+        replicas_dropped = 0
+        mirror = (
+            self._partitioner.assignment
+            if self._partitioner is not None
+            else None
+        )
+        for _, _, vertex in candidates:
+            if max_moves is not None and moved >= max_moves:
+                break
+            # Earlier migrations shift the landscape: re-score now.
+            rescored = self._relocation_gain(vertex)
+            if rescored is None or rescored[0] < min_gain:
+                continue
+            target = rescored[1]
+            replicas_dropped += store.move_vertex(vertex, target)
+            if mirror is not None:
+                mirror.move(vertex, target)
+            moved += 1
+        return RebalanceReport(
+            total_vertices=graph.num_vertices,
+            candidates=len(candidates),
+            moved_vertices=moved,
+            max_moves=max_moves,
+            cut_before=cut_before,
+            cut_after=edge_cut_fraction(graph, assignment),
+            max_load_before=load_before,
+            max_load_after=normalised_max_load(assignment),
+            replicas_dropped=replicas_dropped,
+        )
+
+    def _relocation_gain(self, vertex: Vertex) -> tuple[int, int] | None:
+        """Best feasible relocation of ``vertex``: ``(gain, target)``.
+
+        ``gain`` counts the neighbours the move would newly co-locate,
+        net of the ones it would strand at home.  ``None`` when no other
+        partition has room or the vertex has no neighbours anywhere
+        else.  Ties break toward the emptier, lower-indexed partition so
+        rebalancing is deterministic.
+        """
+        store = self.store
+        assignment = store.assignment
+        home = assignment.partition_of(vertex)
+        counts = [0] * assignment.k
+        for neighbour in store.graph.neighbours(vertex):
+            partition = assignment.partition_of(neighbour)
+            if partition is not None:
+                counts[partition] += 1
+        sizes = assignment.sizes_view()
+        capacity = assignment.capacity
+        best: tuple[int, int, int] | None = None
+        for partition in range(assignment.k):
+            if partition == home or sizes[partition] >= capacity:
+                continue
+            entry = (counts[partition], -sizes[partition], -partition)
+            if best is None or entry > best:
+                best = entry
+        if best is None or best[0] == 0:
+            return None
+        return best[0] - counts[home], -best[2]
 
     # ------------------------------------------------------------------
     # Replication

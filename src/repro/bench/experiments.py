@@ -1,4 +1,4 @@
-"""Experiment definitions E1-E10 and ablations A1-A4.
+"""Experiment definitions E1-E13 and ablations A1-A4.
 
 Each experiment realises one row of DESIGN.md's per-experiment index and
 returns printable :class:`~repro.bench.tables.Table` objects.  The paper
@@ -31,6 +31,8 @@ from repro.graph.generators import (
 )
 from repro.graph.views import edge_subgraph
 from repro.datasets import (
+    churn_stream,
+    churn_workload,
     citation_network,
     citation_workload,
     fraud_network,
@@ -43,7 +45,7 @@ from repro.datasets import (
 from repro.partitioning import partition_stream
 from repro.partitioning.base import default_capacity
 from repro.signatures import SignatureScheme
-from repro.stream.sources import stream_from_graph
+from repro.stream.sources import replay, stream_from_graph
 from repro.tpstry import PathTPSTry, TPSTryPP
 from repro.workload import (
     PatternQuery,
@@ -709,6 +711,71 @@ def experiment_e12(seed: int = 0, fast: bool = False) -> list[Table]:
 
 
 # ----------------------------------------------------------------------
+# E13 -- dynamic-graph churn
+# ----------------------------------------------------------------------
+def experiment_e13(seed: int = 0, fast: bool = False) -> list[Table]:
+    """Churn: matcher/engine behaviour under mixed insert/delete streams.
+
+    The dynamic-graph extension beyond the paper's append-only model:
+    explicit deletions must keep window, matcher, assignment and store
+    incrementally consistent (``state_ok`` differentially checks the
+    resident graph against an offline rebuild from the surviving
+    events), retraction accounting must stay disjoint from eviction, and
+    throughput must not collapse as the delete fraction grows.  The
+    second table prices live rebalancing after the churned ingest.
+    """
+    from repro.api import Cluster, ClusterConfig
+
+    n = 300 if fast else 600
+    fractions = (0.0, 0.15, 0.3)
+    churn_table = Table(
+        "E13a: churn stream ingest (k=8, loom; state_ok = incremental == offline rebuild)",
+        ["delete_fraction", "events", "removals", "events_per_second",
+         "retracted_matches", "evicted_matches", "survivors", "state_ok"],
+    )
+    rebalance_table = Table(
+        "E13b: live rebalance after churn (max_moves=n/10)",
+        ["delete_fraction", "candidates", "moved", "cut_before", "cut_after"],
+    )
+    for fraction in fractions:
+        rng = random.Random(seed + int(fraction * 100))
+        events = churn_stream(n, delete_fraction=fraction, rng=rng)
+        session = Cluster.open(
+            ClusterConfig(
+                partitions=8, method="loom", window_size=64,
+                motif_threshold=0.4, seed=seed,
+            ),
+            workload=churn_workload(),
+        )
+        report = session.ingest(events)
+        stats = session.stats()
+        survivors = replay(events)
+        churn_table.add_row(
+            delete_fraction=fraction,
+            events=report.events,
+            removals=report.removals,
+            events_per_second=round(report.events_per_second),
+            retracted_matches=stats.matcher_counters["retracted"],
+            evicted_matches=stats.matcher_counters["evicted"],
+            survivors=survivors.num_vertices,
+            state_ok=(
+                session.graph == survivors
+                and session.is_complete
+                and sum(stats.sizes) == survivors.num_vertices
+            ),
+        )
+        delta = session.rebalance(max_moves=max(1, n // 10))
+        rebalance_table.add_row(
+            delete_fraction=fraction,
+            candidates=delta.candidates,
+            moved=delta.moved_vertices,
+            cut_before=delta.cut_before,
+            cut_after=delta.cut_after,
+        )
+    return [churn_table, rebalance_table]
+
+
+# ----------------------------------------------------------------------
 # A1 -- ablation: the section-4.3 re-signature fix
 # ----------------------------------------------------------------------
 def experiment_a1(seed: int = 0, fast: bool = False) -> list[Table]:
@@ -969,6 +1036,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("E10", "k sweep for traversal probability", experiment_e10),
         Experiment("E11", "Offline workload-aware skyline", experiment_e11),
         Experiment("E12", "Hotspot replication complementarity", experiment_e12),
+        Experiment("E13", "Dynamic-graph churn: deletions & rebalancing", experiment_e13),
         Experiment("A1", "Ablation: section-4.3 re-signature fix", experiment_a1),
         Experiment("A2", "Ablation: motif-group assignment", experiment_a2),
         Experiment("A3", "Ablation: TPSTry++ DAG vs path-only TPSTry", experiment_a3),
@@ -980,7 +1048,7 @@ EXPERIMENTS: dict[str, Experiment] = {
 def run_experiment(
     experiment_id: str, *, seed: int = 0, fast: bool = False
 ) -> list[Table]:
-    """Run one experiment by id (``E1`` ... ``E10``, ``A1`` ... ``A4``)."""
+    """Run one experiment by id (``E1`` ... ``E13``, ``A1`` ... ``A4``)."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(

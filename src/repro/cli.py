@@ -8,7 +8,9 @@
     loom-repro experiment all --json     # ... or machine-readable JSON
     loom-repro demo                      # figure-1 walkthrough
     loom-repro partition --graph g.txt --method loom -k 4 --json
-    loom-repro bench --out BENCH_PR3.json --baseline BENCH_PR2.json
+    loom-repro retract --snapshot c.json --vertex 7 --edge 1 2 --out c2.json
+    loom-repro rebalance --snapshot c.json --max-moves 20 --out c2.json
+    loom-repro bench --out BENCH_PR4.json --baseline BENCH_PR3.json
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -35,7 +37,7 @@ from pathlib import Path
 from repro.api import Cluster, ClusterConfig
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.engine.registry import UnknownPartitionerError, default_registry
-from repro.exceptions import ConfigurationError, GraphError
+from repro.exceptions import ConfigurationError, GraphError, SessionError
 from repro.graph.io import load_edge_list
 from repro.stream.sources import stream_from_graph
 from repro.workload import figure1_graph, figure1_workload
@@ -193,6 +195,84 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_vertex(raw: str):
+    """Snapshot vertex ids are ints or strings; accept either spelling."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _restore_session(path: str):
+    """Open a session from a snapshot file (operator errors -> message)."""
+    try:
+        return Cluster.restore(path)
+    except OSError as error:
+        raise SessionError(f"cannot read snapshot {path!r}: {error}") from error
+    except (ValueError, KeyError) as error:
+        raise SessionError(f"cannot parse snapshot {path!r}: {error}") from error
+
+
+def _cmd_retract(args: argparse.Namespace) -> int:
+    try:
+        session = _restore_session(args.snapshot)
+        report = session.retract(
+            vertices=[_parse_vertex(v) for v in args.vertex or ()],
+            edges=[
+                (_parse_vertex(u), _parse_vertex(v))
+                for u, v in args.edge or ()
+            ],
+        )
+        if args.out:
+            session.snapshot(args.out)
+    except SessionError as error:
+        return _fail(str(error))
+    except OSError as error:
+        return _fail(f"cannot write snapshot {args.out!r}: {error}")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(
+        f"retracted {report.vertices_removed} vertices, "
+        f"{report.edges_removed} edges "
+        f"(+{report.cascaded_edges} cascaded)"
+    )
+    print(
+        f"resident: |V|={report.resident_vertices} "
+        f"|E|={report.resident_edges}"
+    )
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    try:
+        session = _restore_session(args.snapshot)
+        report = session.rebalance(max_moves=args.max_moves)
+        if args.out:
+            session.snapshot(args.out)
+    except SessionError as error:
+        return _fail(str(error))
+    except OSError as error:
+        return _fail(f"cannot write snapshot {args.out!r}: {error}")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(
+        f"moved {report.moved_vertices}/{report.total_vertices} vertices "
+        f"({report.candidates} candidates)"
+    )
+    print(f"cut {report.cut_before:.4f} -> {report.cut_after:.4f}")
+    print(
+        f"max_load {report.max_load_before:.4f} -> "
+        f"{report.max_load_after:.4f}"
+    )
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.runner import (
         diff_bench,
@@ -264,10 +344,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the typed result as JSON")
     part.set_defaults(fn=_cmd_partition)
 
+    retract = sub.add_parser(
+        "retract", help="delete vertices/edges from a snapshotted cluster"
+    )
+    retract.add_argument("--snapshot", required=True,
+                         help="session snapshot JSON (see 'snapshot' docs)")
+    retract.add_argument("--vertex", action="append", metavar="V",
+                         help="vertex id to delete (repeatable)")
+    retract.add_argument("--edge", action="append", nargs=2,
+                         metavar=("U", "V"),
+                         help="edge to delete (repeatable)")
+    retract.add_argument("--out", help="write the updated snapshot here")
+    retract.add_argument("--json", action="store_true",
+                         help="print the typed report as JSON")
+    retract.set_defaults(fn=_cmd_retract)
+
+    rebalance = sub.add_parser(
+        "rebalance", help="live-migrate the worst-placed vertices of a snapshot"
+    )
+    rebalance.add_argument("--snapshot", required=True,
+                           help="session snapshot JSON")
+    rebalance.add_argument("--max-moves", type=int, default=None,
+                           help="move budget (default: every candidate)")
+    rebalance.add_argument("--out", help="write the updated snapshot here")
+    rebalance.add_argument("--json", action="store_true",
+                           help="print the typed report as JSON")
+    rebalance.set_defaults(fn=_cmd_rebalance)
+
     bench = sub.add_parser(
         "bench", help="run the benchmark suite, write machine-readable JSON"
     )
-    bench.add_argument("--out", default="BENCH_PR3.json")
+    bench.add_argument("--out", default="BENCH_PR4.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--full", action="store_true", help="full grids (slow)")
     bench.add_argument("--no-hotpath", action="store_true",

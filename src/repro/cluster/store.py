@@ -76,6 +76,34 @@ class DistributedGraphStore:
         enforced by the underlying assignment)."""
         self.assignment.assign(vertex, partition)
 
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Retract a stored edge (raises ``EdgeNotFoundError`` if absent)."""
+        self.graph.remove_edge(u, v)
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Retract a stored vertex everywhere it is known: the graph
+        (cascading over incident edges), its partition slot, and every
+        replica copy -- a deleted vertex must never resurrect through a
+        stale index entry or a snapshot/restore round-trip."""
+        self.graph.remove_vertex(vertex)
+        self.assignment.discard(vertex)
+        self._replicas.pop(vertex, None)
+
+    def move_vertex(self, vertex: Vertex, partition: int) -> bool:
+        """Migrate a stored vertex's primary copy to ``partition``
+        (rebalancing).  Drops the replica the vertex may have had in its
+        new home -- a primary copy supersedes it.  Returns True when a
+        now-redundant replica was dropped.
+        """
+        self.assignment.move(vertex, partition)
+        copies = self._replicas.get(vertex)
+        if copies and partition in copies:
+            copies.discard(partition)
+            if not copies:
+                del self._replicas[vertex]
+            return True
+        return False
+
     @property
     def is_complete(self) -> bool:
         """True when every stored vertex has been assigned a partition."""

@@ -38,7 +38,13 @@ from repro.partitioning.streaming import (
     choose_partition_for_group,
 )
 from repro.signatures.signature import SignatureScheme
-from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
+from repro.stream.events import (
+    EdgeArrival,
+    EdgeRemoval,
+    StreamEvent,
+    VertexArrival,
+    VertexRemoval,
+)
 from repro.stream.window import ROUTE_INTERNAL, SlidingWindow
 from repro.tpstry.trie import TPSTryPP
 from repro.workload.workloads import Workload
@@ -157,6 +163,13 @@ class LoomPartitioner:
         The streaming engine prefers this entry point because it hoists
         the per-event attribute traffic (window, matcher, router) out of
         the loop, which is measurable at stream rates.
+
+        Removal events retract live state wherever it sits: matches in
+        the matcher die before the window edge does, external
+        neighbour sets and the assignment's neighbour index unwind, and
+        a deleted already-placed vertex frees its partition slot.
+        (Removals count into the returned ``edges`` tally, matching the
+        engine's events-that-are-not-vertex-arrivals convention.)
         """
         window = self.window
         route_edge = window.route_edge
@@ -181,6 +194,12 @@ class LoomPartitioner:
                 window.add_vertex(event.vertex, event.label)
                 if record_label is not None:
                     record_label(event.vertex, event.label)
+            elif isinstance(event, EdgeRemoval):
+                edges += 1
+                self._retract_edge(event.u, event.v)
+            elif isinstance(event, VertexRemoval):
+                edges += 1
+                self._retract_vertex(event.vertex)
             else:
                 edges += 1
         return vertices, edges
@@ -189,6 +208,54 @@ class LoomPartitioner:
         """Assign everything still buffered (end of stream)."""
         while len(self.window):
             self._assign_due()
+
+    # ------------------------------------------------------------------
+    # Retraction (churn streams)
+    # ------------------------------------------------------------------
+    def _retract_edge(self, u: Vertex, v: Vertex) -> None:
+        """Undo an edge wherever it currently lives.
+
+        Window-internal edges take partial matches with them (matcher
+        first, while both endpoints still hold window slots); external
+        edges unwind the buffered endpoint's placed-neighbour context;
+        fully departed edges have nothing windowed left to undo -- the
+        resident store handles the graph side.
+        """
+        window = self.window
+        u_buffered = u in window
+        v_buffered = v in window
+        if u_buffered and v_buffered:
+            self.matcher.retract_edge(u, v)
+            window.retract_edge(u, v)
+        elif u_buffered or v_buffered:
+            window.retract_edge(u, v)
+            if self.assignment_index:
+                buffered, placed = (u, v) if u_buffered else (v, u)
+                self.assignment.unnote_edge(buffered, placed)
+
+    def _retract_vertex(self, vertex: Vertex) -> None:
+        """Delete a vertex that is either still buffered or already placed.
+
+        A buffered vertex leaves without being assigned (its matches and
+        window edges die with it); a placed vertex vacates its partition
+        slot and is purged from every buffered vertex's external set so
+        no future placement scores against a ghost.
+        """
+        if self._record_label is not None:
+            self._single_placer.forget_label(vertex)
+        if vertex in self.window:
+            self.matcher.retract_vertex(vertex)
+            self.window.retract_vertex(vertex)
+            # The id is reusable: clear any neighbour-index vector noted
+            # for the buffered vertex, or a re-arrival under the same id
+            # would inherit its dead first life's placement pull.
+            self.assignment.discard(vertex)
+            return
+        affected = self.window.forget_placed(vertex)
+        if self.assignment_index:
+            for buffered in affected:
+                self.assignment.unnote_edge(buffered, vertex)
+        self.assignment.discard(vertex)
 
     # ------------------------------------------------------------------
     # Assignment (section 4.4)

@@ -120,12 +120,17 @@ class StreamMotifMatcher:
         #: vertex -> interned label id (entries die with the vertex).
         self._lid: dict[Vertex, int] = {}
         #: Diagnostics for the ablation benches and the E7 table.
+        #: ``evicted`` counts matches dropped because their vertices were
+        #: assigned out of the window; ``retracted`` counts matches
+        #: killed by explicit deletion events -- the two are disjoint by
+        #: construction (a dead match id never re-enters either path).
         self.stats = {
             "direct": 0,
             "extended": 0,
             "regrown": 0,
             "rejected": 0,
             "evicted": 0,
+            "retracted": 0,
             "verified": 0,
             "trusted": 0,
         }
@@ -434,10 +439,21 @@ class StreamMotifMatcher:
             if ids:
                 doomed |= ids
             lid.pop(vertex, None)
-        if not doomed:
-            return
+        if doomed:
+            self._drop_matches(doomed, "evicted")
+
+    def _drop_matches(self, doomed, counter: str) -> int:
+        """Unregister the matches in ``doomed`` and count actual drops.
+
+        Each dropped id leaves every index at once (key table, id table,
+        per-vertex buckets), so a match can only ever be counted by one
+        of ``evicted``/``retracted`` -- the no-double-eviction invariant
+        the churn regression tests pin.
+        """
         key_to_id = self._key_to_id
         match_by_id = self._match_by_id
+        by_vertex = self._by_vertex
+        dropped = 0
         for mid in doomed:
             match = match_by_id.pop(mid, None)
             if match is None:
@@ -447,7 +463,50 @@ class StreamMotifMatcher:
                 ids = by_vertex.get(vertex)
                 if ids is not None:
                     ids.discard(mid)
-        self.stats["evicted"] += len(doomed)
+            dropped += 1
+        self.stats[counter] += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Explicit retraction (churn streams)
+    # ------------------------------------------------------------------
+    def retract_edge(self, u: Vertex, v: Vertex) -> int:
+        """Kill every tracked match containing the deleted edge ``{u, v}``.
+
+        Must run while both endpoints still hold window-graph slots (the
+        edge itself may already be gone).  The per-vertex int match-id
+        index makes this O(matches touching both endpoints): intersect
+        the two buckets, keep the ids whose key contains the edge id.
+        Returns how many matches died (counted under ``retracted``).
+        """
+        by_vertex = self._by_vertex
+        ids_u = by_vertex.get(u)
+        ids_v = by_vertex.get(v)
+        if not ids_u or not ids_v:
+            return 0
+        e = self.graph.edge_id(u, v)
+        match_by_id = self._match_by_id
+        doomed = [
+            mid for mid in ids_u & ids_v
+            if e in match_by_id[mid].edge_ids
+        ]
+        if not doomed:
+            return 0
+        return self._drop_matches(doomed, "retracted")
+
+    def retract_vertex(self, vertex: Vertex) -> int:
+        """Kill every tracked match containing the deleted ``vertex``.
+
+        Same O(1)-per-index-entry shape as eviction (:meth:`forget`) but
+        counted under ``retracted``: the vertex was deleted, not
+        assigned.  Also drops the vertex's interned-label cache entry so
+        a later re-arrival under a new label re-interns cleanly.
+        """
+        self._lid.pop(vertex, None)
+        ids = self._by_vertex.pop(vertex, None)
+        if not ids:
+            return 0
+        return self._drop_matches(ids, "retracted")
 
     # ------------------------------------------------------------------
     # Queries used by LOOM's assignment step

@@ -63,6 +63,12 @@ class TraversalAwareLDG(StreamingVertexPartitioner):
         """
         self._labels[vertex] = label
 
+    def forget_label(self, vertex: Vertex) -> None:
+        """Drop a deleted vertex's label record (churn streams): the table
+        must not grow without bound, and a re-arrival under a new label
+        must never read the old one."""
+        self._labels.pop(vertex, None)
+
     def edge_probability(self, label_a: Label, label_b: Label) -> float:
         """p-value of the two-vertex motif ``label_a -- label_b`` (cached)."""
         key = (label_a, label_b) if label_a <= label_b else (label_b, label_a)

@@ -16,11 +16,16 @@ traverse, plus the workload a client of that domain would run.
 * :func:`repro.datasets.citation.citation_network` /
   :func:`repro.datasets.citation.citation_workload` -- papers, authors and
   venues (recommender-style traversals, citation [7]).
+* :func:`repro.datasets.churn.churn_stream` /
+  :func:`repro.datasets.churn.churn_workload` -- a mixed insert/delete
+  *stream* (the dataset is the churn itself): growth with interleaved
+  removals, for the dynamic-graph path of the stack.
 """
 
 from repro.datasets.social import social_network, social_workload
 from repro.datasets.fraud import fraud_network, fraud_workload
 from repro.datasets.citation import citation_network, citation_workload
+from repro.datasets.churn import churn_stream, churn_workload
 from repro.datasets.protein import protein_network, protein_workload
 
 __all__ = [
@@ -30,6 +35,8 @@ __all__ = [
     "fraud_workload",
     "citation_network",
     "citation_workload",
+    "churn_stream",
+    "churn_workload",
     "protein_network",
     "protein_workload",
 ]

@@ -1,0 +1,58 @@
+"""Churn dataset: a mixed insert/delete graph stream plus its workload.
+
+Where the other datasets materialise a static property graph, churn's
+*stream* is the dataset: a preferential-attachment growth stream
+(:func:`repro.stream.sources.growth_stream`) with valid removal events
+interleaved by :func:`repro.stream.orderings.with_churn` -- users leaving
+the network, relationships being severed.  It drives the dynamic-graph
+path of the stack (explicit retraction in the window/matcher, assignment
+slots freed, store tombstones) exactly as the arrival-only datasets
+drive the append-only path.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graph.labelled import LabelledGraph
+from repro.stream.events import StreamEvent
+from repro.stream.orderings import with_churn
+from repro.stream.sources import growth_stream
+from repro.workload.query import PatternQuery
+from repro.workload.workloads import Workload
+
+#: Label alphabet shared by the stream and the workload's motifs.
+CHURN_ALPHABET = ("a", "b", "c", "d")
+
+
+def churn_stream(
+    n: int = 120,
+    *,
+    m: int = 2,
+    delete_fraction: float = 0.2,
+    alphabet: Sequence[str] = CHURN_ALPHABET,
+    rng: random.Random | None = None,
+) -> list[StreamEvent]:
+    """A valid mixed insert/delete stream over ``n`` arriving vertices.
+
+    ``delete_fraction`` is the per-arrival probability of injecting one
+    removal (so roughly that fraction of the stream is churn);
+    removals only ever reference live elements and never orphan a later
+    arrival.  Deterministic given ``rng``.
+    """
+    local_rng = rng or random.Random(0)
+    base = growth_stream(n, m, alphabet=alphabet, rng=local_rng)
+    return with_churn(base, delete_fraction=delete_fraction, rng=local_rng)
+
+
+def churn_workload() -> Workload:
+    """Path/triangle motifs over the churn alphabet, skewed toward the
+    short hot shapes that keep re-forming as the graph churns."""
+    return Workload(
+        [
+            PatternQuery("ab", LabelledGraph.path("ab"), 3.0),
+            PatternQuery("abc", LabelledGraph.path("abc"), 2.0),
+            PatternQuery("bcd", LabelledGraph.path("bcd"), 1.0),
+        ]
+    )

@@ -38,7 +38,13 @@ from repro.partitioning.base import (
     PartitionAssignment,
     StreamingVertexPartitioner,
 )
-from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
+from repro.stream.events import (
+    EdgeArrival,
+    EdgeRemoval,
+    StreamEvent,
+    VertexArrival,
+    VertexRemoval,
+)
 
 DEFAULT_BATCH_SIZE = 256
 
@@ -157,6 +163,33 @@ class VertexStreamAdapter:
                 return
             self._pending_neighbours.append(other)
             self.assignment.note_edge(pending[0], other)
+        elif isinstance(event, EdgeRemoval):
+            pending = self._pending
+            if pending is not None and pending[0] in (event.u, event.v):
+                other = event.v if event.u == pending[0] else event.u
+                try:
+                    self._pending_neighbours.remove(other)
+                except ValueError:
+                    pass
+                self.assignment.unnote_edge(pending[0], other)
+            # Otherwise both endpoints were already placed: one-pass
+            # partitioners cannot revisit the decision -- metric-only.
+        elif isinstance(event, VertexRemoval):
+            pending = self._pending
+            if pending is not None and pending[0] == event.vertex:
+                # Deleted before it was ever placed: never assign it.
+                self._pending = None
+                self._pending_neighbours.clear()
+            else:
+                # The deletion cascades over the victim's edges, including
+                # any edge toward the pending vertex: unwind that count
+                # while the victim's partition is still known, or LDG
+                # would score a ghost neighbour at placement time.
+                if pending is not None:
+                    while event.vertex in self._pending_neighbours:
+                        self._pending_neighbours.remove(event.vertex)
+                        self.assignment.unnote_edge(pending[0], event.vertex)
+                self.assignment.discard(event.vertex)
 
     def flush(self) -> None:
         self._place_pending()

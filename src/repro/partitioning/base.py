@@ -52,6 +52,14 @@ class PartitionAssignment:
         #: distributed store as the stream is consumed, instead of
         #: rebuilding the store from the finished assignment.
         self.on_assign: Callable[[Vertex, int], None] | None = None
+        #: Optional observer invoked after every successful
+        #: :meth:`remove`/:meth:`discard` -- the churn-side mirror.  Both
+        #: hooks fire in the partitioner's event-processing order, so a
+        #: mirrored assignment replays placements *and* retractions
+        #: exactly as the stream interleaved them (a batch-level mirror
+        #: alone cannot: a remove + re-add of one id inside a batch
+        #: would race mid-batch placement callbacks).
+        self.on_remove: Callable[[Vertex], None] | None = None
 
     # ------------------------------------------------------------------
     def assign(self, vertex: Vertex, partition: int) -> None:
@@ -71,6 +79,31 @@ class PartitionAssignment:
         self._pending_counts.pop(vertex, None)
         if self.on_assign is not None:
             self.on_assign(vertex, partition)
+
+    def remove(self, vertex: Vertex) -> int:
+        """Retract an assigned vertex; returns the partition it vacated.
+
+        The freed slot is real capacity: a later :meth:`assign` may fill
+        it again.  Raises :class:`PartitioningError` for vertices that
+        were never assigned (use :meth:`discard` for tolerant removal).
+        """
+        partition = self._partition_of.pop(vertex, None)
+        if partition is None:
+            raise PartitioningError(f"vertex {vertex!r} not assigned")
+        self._sizes[partition] -= 1
+        self._pending_counts.pop(vertex, None)
+        if self.on_remove is not None:
+            self.on_remove(vertex)
+        return partition
+
+    def discard(self, vertex: Vertex) -> int | None:
+        """Tolerant :meth:`remove`: also clears any pending neighbour-index
+        vector for a vertex that was never placed.  Returns the vacated
+        partition, or ``None`` when the vertex was not assigned."""
+        if vertex not in self._partition_of:
+            self._pending_counts.pop(vertex, None)
+            return None
+        return self.remove(vertex)
 
     def move(self, vertex: Vertex, partition: int) -> None:
         """Re-place an assigned vertex (offline refinement only)."""
@@ -113,6 +146,21 @@ class PartitionAssignment:
             counts = [0] * self.k
             self._pending_counts[pending] = counts
         counts[partition] += 1
+
+    def unnote_edge(self, pending: Vertex, placed: Vertex) -> None:
+        """Undo one :meth:`note_edge` record (explicit edge retraction).
+
+        Mirrors the guards of :meth:`note_edge`: a no-op when ``placed``
+        is unassigned, when ``pending`` has already been placed, or when
+        no count was ever recorded -- so note/unnote pairs keep the
+        index exactly consistent with the surviving edges.
+        """
+        partition = self._partition_of.get(placed)
+        if partition is None or pending in self._partition_of:
+            return
+        counts = self._pending_counts.get(pending)
+        if counts is not None and counts[partition] > 0:
+            counts[partition] -= 1
 
     def cached_neighbour_counts(self, vertex: Vertex) -> list[int] | None:
         """The neighbour-index vector for ``vertex`` (None if not tracked)."""

@@ -12,16 +12,25 @@ a dynamic growing graph.  This package provides:
   (section 4.1: "we buffer a sliding window over a graph-stream").
 """
 
-from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
+from repro.stream.events import (
+    EdgeArrival,
+    EdgeRemoval,
+    RemovalEvent,
+    StreamEvent,
+    VertexArrival,
+    VertexRemoval,
+)
 from repro.stream.orderings import (
     ORDERINGS,
     adversarial_order,
     natural_order,
     ordered_vertices,
     random_order,
+    with_churn,
 )
 from repro.stream.sources import (
     growth_stream,
+    replay,
     stream_edges,
     stream_from_graph,
 )
@@ -29,14 +38,19 @@ from repro.stream.window import SlidingWindow, WindowedVertex
 
 __all__ = [
     "EdgeArrival",
+    "EdgeRemoval",
+    "RemovalEvent",
     "StreamEvent",
     "VertexArrival",
+    "VertexRemoval",
     "ORDERINGS",
     "adversarial_order",
     "natural_order",
     "ordered_vertices",
     "random_order",
+    "with_churn",
     "growth_stream",
+    "replay",
     "stream_edges",
     "stream_from_graph",
     "SlidingWindow",

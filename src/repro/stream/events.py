@@ -5,6 +5,13 @@ A graph stream is an iterable of :class:`VertexArrival` and
 convention (Stanton & Kliot, Fennel): a vertex arrives together with the
 edges that connect it to *already-arrived* vertices, so an
 :class:`EdgeArrival` always references two vertices that have both arrived.
+
+Churn streams additionally carry explicit deletions: an
+:class:`EdgeRemoval` retracts a previously arrived edge, and a
+:class:`VertexRemoval` retracts a previously arrived vertex together with
+every edge still incident to it (the cascade real stores perform).  A
+removal always references an element that is *live* at that point of the
+stream -- arrived, not yet removed -- whatever its window/placed state.
 """
 
 from __future__ import annotations
@@ -38,4 +45,30 @@ class EdgeArrival:
         return f"+e ({self.u}, {self.v}) @{self.time}"
 
 
-StreamEvent = VertexArrival | EdgeArrival
+@dataclass(frozen=True, slots=True)
+class EdgeRemoval:
+    """A live edge is explicitly deleted from the stream's graph."""
+
+    u: Vertex
+    v: Vertex
+    time: int
+
+    def __str__(self) -> str:
+        return f"-e ({self.u}, {self.v}) @{self.time}"
+
+
+@dataclass(frozen=True, slots=True)
+class VertexRemoval:
+    """A live vertex is deleted, cascading over its remaining edges."""
+
+    vertex: Vertex
+    time: int
+
+    def __str__(self) -> str:
+        return f"-v {self.vertex} @{self.time}"
+
+
+StreamEvent = VertexArrival | EdgeArrival | EdgeRemoval | VertexRemoval
+
+#: The removal (churn) subset of the event alphabet.
+RemovalEvent = EdgeRemoval | VertexRemoval

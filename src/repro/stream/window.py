@@ -194,6 +194,67 @@ class SlidingWindow:
         return drained
 
     # ------------------------------------------------------------------
+    # Explicit retraction (churn streams)
+    # ------------------------------------------------------------------
+    def retract_edge(self, u: Vertex, v: Vertex) -> str:
+        """Undo an arrived edge; returns where the retraction landed.
+
+        ``"internal"`` -- both endpoints buffered: the edge leaves the
+        window sub-graph (callers running a motif matcher must kill the
+        matches containing it *first*, see
+        :meth:`~repro.core.matcher.StreamMotifMatcher.retract_edge`);
+        ``"external"`` -- one endpoint buffered: the placed neighbour is
+        dropped from its external set, so assignment no longer scores
+        against the deleted edge;
+        ``"departed"`` -- neither endpoint buffered: nothing windowed to
+        undo (the resident store handles the graph side).
+
+        Tolerant of edges the window never saw (already expired, or
+        re-observed externals): retraction of an unknown edge is a no-op
+        with the same routing answer.
+        """
+        arrivals = self._arrivals
+        if u in arrivals:
+            if v in arrivals:
+                if self.graph.has_edge(u, v):
+                    self.graph.remove_edge(u, v)
+                return "internal"
+            self._external[u].discard(v)
+            return "external"
+        if v in arrivals:
+            self._external[v].discard(u)
+            return "external"
+        return "departed"
+
+    def retract_vertex(self, vertex: Vertex) -> Label:
+        """Drop a buffered vertex that was explicitly *deleted*.
+
+        Unlike :meth:`remove`/:meth:`expire` (departure toward a
+        partition), the vertex ceases to exist: buffered neighbours do
+        NOT gain it as an external (placed) neighbour, and its incident
+        window edges vanish with it.  Returns the label it carried.
+        """
+        if vertex not in self._arrivals:
+            raise StreamError(f"vertex {vertex!r} not buffered")
+        label = self.graph.label(vertex)
+        del self._external[vertex]
+        self.graph.remove_vertex(vertex)
+        del self._arrivals[vertex]
+        return label
+
+    def forget_placed(self, vertex: Vertex) -> list[Vertex]:
+        """Purge a deleted already-placed vertex from every buffered
+        vertex's external set; returns the buffered vertices that
+        referenced it (so callers can unwind neighbour-index counts).
+        """
+        affected: list[Vertex] = []
+        for buffered, bucket in self._external.items():
+            if vertex in bucket:
+                bucket.discard(vertex)
+                affected.append(buffered)
+        return affected
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     def external_neighbours(self, vertex: Vertex) -> frozenset[Vertex]:

@@ -82,6 +82,39 @@ class TestRoundTrip:
         with pytest.raises(SessionError):
             session.snapshot()
 
+    def test_round_trip_after_removals(self):
+        """The churn fix: a store that has had removals must round-trip
+        -- tombstoned vertices and their edges stay gone on restore."""
+        session, graph, workload = small_session()
+        session.retract(vertices=[10], edges=[(0, 1)])
+        payload = session.snapshot()
+        vertex_ids = [v for v, _ in payload["graph"]["vertices"]]
+        assert 10 not in vertex_ids
+        assert [0, 10] not in payload["graph"]["edges"]
+        assert all(v != 10 for v, _ in payload["assignment"])
+        restored = Cluster.restore(payload, workload=workload)
+        assert not restored.graph.has_vertex(10)
+        assert not restored.graph.has_edge(0, 1)
+        assert restored.is_complete
+        assert restored.assignment.assigned() == session.assignment.assigned()
+        # Restore-then-ingest still works on the churned state.
+        addition = LabelledGraph.from_edges({30: "c"}, [])
+        restored.ingest(addition)
+        assert restored.is_complete
+
+    def test_replicas_of_removed_vertex_do_not_resurrect(self):
+        session, graph, workload = small_session()
+        store = session.store
+        victim = next(iter(graph.vertices()))
+        other = (session.partition_of(victim) + 1) % 2
+        assert store.add_replica(victim, other)
+        session.retract(vertices=[victim])
+        assert store.replicas_of(victim) == frozenset()
+        assert store.total_replicas() == 0
+        restored = Cluster.restore(session.snapshot(), workload=workload)
+        assert restored.store.replicas_of(victim) == frozenset()
+        assert not restored.graph.has_vertex(victim)
+
     def test_string_vertex_ids_survive(self):
         graph = LabelledGraph()
         for name, label in (("alice", "u"), ("bob", "u"), ("p1", "p")):

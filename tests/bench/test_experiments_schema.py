@@ -1,6 +1,6 @@
 """Schema tests: every experiment produces well-formed tables in fast mode.
 
-These run all sixteen experiments end to end (small grids), asserting the
+These run all seventeen experiments end to end (small grids), asserting the
 table schemas the benchmarks and EXPERIMENTS.md rely on.  They double as
 integration smoke tests of the full pipeline behind each experiment.
 """
@@ -33,6 +33,11 @@ EXPECTED_COLUMNS = {
              "cost"]],
     "E12": [["method", "budget", "replicas_added", "replication_factor",
              "p_remote"]],
+    "E13": [
+        ["delete_fraction", "events", "removals", "events_per_second",
+         "retracted_matches", "evicted_matches", "survivors", "state_ok"],
+        ["delete_fraction", "candidates", "moved", "cut_before", "cut_after"],
+    ],
     "A1": [["resignature_fix", "regrown_matches", "groups", "cut",
             "p_remote"]],
     "A2": [["group_matches", "groups", "cut", "p_remote"]],
@@ -65,7 +70,10 @@ def test_experiment_deterministic(experiment_id):
     first = run_experiment(experiment_id, seed=3, fast=True)
     second = run_experiment(experiment_id, seed=3, fast=True)
     for a, b in zip(first, second):
-        non_timing = [c for c in a.columns if "seconds" not in c]
+        non_timing = [
+            c for c in a.columns
+            if "seconds" not in c and not c.endswith("per_second")
+        ]
         for row_a, row_b in zip(a.rows, b.rows):
             for column in non_timing:
                 assert row_a[column] == row_b[column], (

@@ -106,3 +106,63 @@ class TestIncrementalContract:
         store.add_edge(1, 2)
         store.add_edge(2, 1)
         assert store.graph.num_edges == 1
+
+
+class TestIncrementalRemoval:
+    def churned(self):
+        store = DistributedGraphStore.incremental(2, 4)
+        for vertex, label in ((1, "a"), (2, "b"), (3, "a"), (4, "b")):
+            store.add_vertex(vertex, label)
+            store.assign_vertex(vertex, vertex % 2)
+        for u, v in ((1, 2), (2, 3), (3, 4), (4, 1)):
+            store.add_edge(u, v)
+        return store
+
+    def test_removal_parity_with_fresh_build(self):
+        """A store that removed elements equals one built from only the
+        survivors -- graph, placement, locality and label index."""
+        churned = self.churned()
+        churned.remove_edge(1, 2)
+        churned.remove_vertex(4)
+        survivor = DistributedGraphStore.incremental(2, 4)
+        for vertex, label in ((1, "a"), (2, "b"), (3, "a")):
+            survivor.add_vertex(vertex, label)
+            survivor.assign_vertex(vertex, vertex % 2)
+        survivor.add_edge(2, 3)
+        assert churned.graph == survivor.graph
+        assert churned.assignment.assigned() == survivor.assignment.assigned()
+        assert churned.shard_sizes() == survivor.shard_sizes()
+        assert churned.is_complete
+        for label in ("a", "b"):
+            assert churned.vertices_with_label(label) == (
+                survivor.vertices_with_label(label)
+            )
+        assert churned.is_remote(2, 3) == survivor.is_remote(2, 3)
+
+    def test_remove_vertex_cascades_and_purges_replicas(self):
+        store = self.churned()
+        assert store.add_replica(1, 0) or store.add_replica(1, 1)
+        edges_before = store.graph.num_edges
+        store.remove_vertex(1)
+        assert store.graph.num_edges == edges_before - 2
+        assert store.replicas_of(1) == frozenset()
+        assert store.total_replicas() == 0
+        assert store.assignment.partition_of(1) is None
+        assert store.is_complete  # survivors all still placed
+
+    def test_remove_missing_elements_raise(self):
+        store = self.churned()
+        with pytest.raises(KeyError):
+            store.remove_vertex(99)
+        with pytest.raises(KeyError):
+            store.remove_edge(1, 3)
+
+    def test_move_vertex_absorbs_replica_at_target(self):
+        store = self.churned()
+        home = store.partition_of(1)
+        target = 1 - home
+        assert store.add_replica(1, target)
+        assert store.move_vertex(1, target) is True
+        assert store.partition_of(1) == target
+        assert store.replicas_of(1) == frozenset()
+        assert store.move_vertex(1, home) is False

@@ -1,4 +1,11 @@
-"""Stateful property test for PartitionAssignment."""
+"""Stateful property tests for PartitionAssignment.
+
+Two machines: the original assign/move machine, and a churn machine
+exercising arbitrary add/remove sequences plus the incrementally
+maintained neighbour index and capacity growth -- the invariants the
+dynamic-graph stack leans on (capacity accounting exact after removals,
+note/unnote symmetry, grow_capacity monotone).
+"""
 
 from hypothesis import settings
 from hypothesis.stateful import (
@@ -9,7 +16,7 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
-from repro.exceptions import CapacityExceededError
+from repro.exceptions import CapacityExceededError, PartitioningError
 from repro.partitioning import PartitionAssignment
 
 K = 3
@@ -71,4 +78,120 @@ class AssignmentMachine(RuleBasedStateMachine):
 TestAssignmentStateful = AssignmentMachine.TestCase
 TestAssignmentStateful.settings = settings(
     max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class ChurnAssignmentMachine(RuleBasedStateMachine):
+    """Arbitrary add/remove/re-add sequences with neighbour-index upkeep."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = CAPACITY
+        self.assignment = PartitionAssignment(K, self.capacity)
+        self.model: dict[int, int] = {}
+        #: pending vertex -> modelled per-partition neighbour counts.
+        self.pending_model: dict[int, list[int]] = {}
+        self.next_id = 0
+        self.removed: list[int] = []
+
+    # -- rules ----------------------------------------------------------
+    @precondition(lambda self: any(
+        size < self.capacity for size in self.assignment.sizes()
+    ))
+    @rule(data=st.data())
+    def assign_vertex(self, data):
+        feasible = self.assignment.feasible_partitions()
+        partition = data.draw(st.sampled_from(feasible))
+        # Sometimes re-add a previously removed id (slot churn).
+        if self.removed and data.draw(st.booleans()):
+            vertex = self.removed.pop()
+        else:
+            vertex = self.next_id
+            self.next_id += 1
+        self.assignment.assign(vertex, partition)
+        self.model[vertex] = partition
+        self.pending_model.pop(vertex, None)
+
+    @precondition(lambda self: bool(self.model))
+    @rule(data=st.data())
+    def remove_vertex(self, data):
+        vertex = data.draw(st.sampled_from(sorted(self.model)))
+        vacated = self.assignment.remove(vertex)
+        assert vacated == self.model.pop(vertex)
+        self.removed.append(vertex)
+
+    @rule()
+    def remove_unassigned_raises(self):
+        ghost = self.next_id + 10_000
+        try:
+            self.assignment.remove(ghost)
+            raise AssertionError("removing an unassigned vertex succeeded")
+        except PartitioningError:
+            pass
+        assert self.assignment.discard(ghost) is None
+
+    @precondition(lambda self: bool(self.model))
+    @rule(data=st.data())
+    def note_edge(self, data):
+        placed = data.draw(st.sampled_from(sorted(self.model)))
+        pending = self.next_id + 1 + data.draw(st.integers(0, 2))
+        self.assignment.note_edge(pending, placed)
+        counts = self.pending_model.setdefault(pending, [0] * K)
+        counts[self.model[placed]] += 1
+
+    @precondition(lambda self: bool(self.pending_model) and bool(self.model))
+    @rule(data=st.data())
+    def unnote_edge(self, data):
+        pending = data.draw(st.sampled_from(sorted(self.pending_model)))
+        placed = data.draw(st.sampled_from(sorted(self.model)))
+        self.assignment.unnote_edge(pending, placed)
+        counts = self.pending_model[pending]
+        partition = self.model[placed]
+        if counts[partition] > 0:
+            counts[partition] -= 1
+
+    @rule(extra=st.integers(min_value=0, max_value=3))
+    def grow_capacity(self, extra):
+        self.assignment.grow_capacity(self.capacity + extra)
+        self.capacity += extra
+
+    @precondition(lambda self: self.capacity > 1)
+    @rule()
+    def shrink_capacity_refused(self):
+        try:
+            self.assignment.grow_capacity(self.capacity - 1)
+            raise AssertionError("capacity shrink succeeded")
+        except PartitioningError:
+            pass
+        assert self.assignment.capacity == self.capacity
+
+    # -- invariants -----------------------------------------------------
+    @invariant()
+    def capacity_accounting_exact(self):
+        sizes = self.assignment.sizes()
+        assert sum(sizes) == len(self.model) == self.assignment.num_assigned
+        assert [len(b) for b in self.assignment.blocks()] == sizes
+        assert all(0 <= size <= self.capacity for size in sizes)
+
+    @invariant()
+    def placements_match_model(self):
+        for vertex, partition in self.model.items():
+            assert self.assignment.partition_of(vertex) == partition
+        for vertex in self.removed:
+            assert self.assignment.partition_of(vertex) is None
+
+    @invariant()
+    def neighbour_index_matches_model(self):
+        for pending, counts in self.pending_model.items():
+            cached = self.assignment.cached_neighbour_counts(pending)
+            assert (cached or [0] * K) == counts
+
+    @invariant()
+    def capacity_monotone(self):
+        assert self.assignment.capacity == self.capacity
+
+
+TestChurnAssignmentStateful = ChurnAssignmentMachine.TestCase
+TestChurnAssignmentStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
 )

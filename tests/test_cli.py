@@ -110,3 +110,79 @@ class TestPartition:
             ["partition", "--graph", str(tmp_path / "absent.txt")]
         ) == EXIT_USAGE
         assert "cannot read graph file" in capsys.readouterr().err
+
+
+def snapshot_file(tmp_path):
+    """A small snapshotted cluster for the churn verbs to chew on."""
+    from repro.api import Cluster, ClusterConfig
+    from repro.graph.generators import planted_partition
+
+    graph = planted_partition(30, 2, 0.3, 0.05, rng=random.Random(9))
+    session = Cluster.open(
+        ClusterConfig(partitions=2, method="hash", seed=9)
+    )
+    session.ingest(graph)
+    target = tmp_path / "cluster.json"
+    session.snapshot(target)
+    return target, session
+
+
+class TestRetractVerb:
+    def test_retract_vertex_writes_updated_snapshot(self, tmp_path, capsys):
+        source, session = snapshot_file(tmp_path)
+        out = tmp_path / "after.json"
+        assert main(
+            ["retract", "--snapshot", str(source), "--vertex", "0",
+             "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "retracted 1 vertices" in stdout
+        payload = json.loads(out.read_text())
+        assert 0 not in [v for v, _ in payload["graph"]["vertices"]]
+
+    def test_retract_edge_json_report(self, tmp_path, capsys):
+        source, session = snapshot_file(tmp_path)
+        u, v = next(iter(session.graph.edges()))
+        assert main(
+            ["retract", "--snapshot", str(source),
+             "--edge", str(u), str(v), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["edges_removed"] == 1
+        assert payload["vertices_removed"] == 0
+
+    def test_retract_unknown_vertex_exits_nonzero(self, tmp_path, capsys):
+        source, _ = snapshot_file(tmp_path)
+        assert main(
+            ["retract", "--snapshot", str(source), "--vertex", "999"]
+        ) == EXIT_USAGE
+        assert "not resident" in capsys.readouterr().err
+
+    def test_retract_missing_snapshot_exits_nonzero(self, tmp_path, capsys):
+        assert main(
+            ["retract", "--snapshot", str(tmp_path / "none.json"),
+             "--vertex", "0"]
+        ) == EXIT_USAGE
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+
+class TestRebalanceVerb:
+    def test_rebalance_reports_delta(self, tmp_path, capsys):
+        source, _ = snapshot_file(tmp_path)
+        assert main(
+            ["rebalance", "--snapshot", str(source), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cut_after"] <= payload["cut_before"]
+        assert payload["moved_vertices"] >= 0
+
+    def test_rebalance_respects_budget_and_writes_out(self, tmp_path, capsys):
+        source, _ = snapshot_file(tmp_path)
+        out = tmp_path / "after.json"
+        assert main(
+            ["rebalance", "--snapshot", str(source), "--max-moves", "2",
+             "--out", str(out), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["moved_vertices"] <= 2
+        assert out.exists()
