@@ -1,0 +1,26 @@
+"""E14: sharded multi-process query scaling.
+
+Shape reproduced: fanning candidate expansion out across worker
+processes never changes a single result field (``identical``), and the
+measured makespan (slowest worker's CPU + merge) shrinks as workers are
+added -- more workers never cost makespan, and 2 workers already beat
+the serial baseline.  Wall-clock columns are *not* asserted: on a
+single-core CI runner the kernel interleaves the workers and the wall
+clock legitimately shows no speedup.
+"""
+
+from conftest import rows_by
+
+
+def test_e14_scaling(run_and_show):
+    baseline, scaling = run_and_show("E14")
+    (serial,) = baseline.rows
+    assert serial["queries_per_second"] > 0
+    for row in scaling.rows:
+        # The hard guarantee: parallel results are identical to serial.
+        assert row["identical"] is True
+        assert row["makespan_seconds"] > 0
+    (two,) = rows_by(scaling, workers=2)
+    # Sharding the seed work across 2 workers must beat the serial
+    # critical path (generous floor: perfect balance would be ~2x).
+    assert two["speedup"] > 1.1

@@ -4,11 +4,11 @@
 Equivalent to ``loom-repro bench``.  Times every experiment the
 ``bench_*`` pytest files wrap (fast mode by default, like the pytest
 suite) plus the engine hot-path microbenchmark, then writes
-``BENCH_PR3.json``::
+``BENCH_PR5.json``::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR3.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR5.json]
                                                 [--seed 0] [--full]
-                                                [--baseline BENCH_PR2.json]
+                                                [--baseline BENCH_PR4.json]
 
 ``--baseline`` prints per-experiment wall-time deltas against a prior
 BENCH file (same ``loom-repro/bench/v1`` schema), making the perf
@@ -33,7 +33,7 @@ from repro.bench.runner import (  # noqa: E402
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR5.json")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--full", action="store_true",
@@ -44,12 +44,19 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the engine hot-path microbenchmark",
     )
     parser.add_argument(
+        "--no-scaling", action="store_true",
+        help="skip the sharded-runtime scaling measurement",
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="BENCH_JSON",
         help="prior BENCH file to print per-experiment deltas against",
     )
     args = parser.parse_args(argv)
     payload = run_bench_suite(
-        seed=args.seed, fast=not args.full, hotpath=not args.no_hotpath
+        seed=args.seed,
+        fast=not args.full,
+        hotpath=not args.no_hotpath,
+        scaling=not args.no_scaling,
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
@@ -60,6 +67,15 @@ def main(argv: list[str] | None = None) -> int:
             "hotpath speedups: "
             f"ldg={hp['ldg_speedup']}x loom={hp['loom_speedup']}x "
             f"executor={hp['executor_speedup']}x"
+        )
+    if "scaling" in payload:
+        speedups = payload["scaling"]["speedups"]
+        print(
+            "scaling speedups (makespan): "
+            + " ".join(
+                f"{key.split('_')[1]}={value}x"
+                for key, value in sorted(speedups.items())
+            )
         )
     if args.baseline:
         baseline = load_bench_json(args.baseline)

@@ -18,7 +18,7 @@ which pieces to build, in which order, with which randomness -- is owned
 here and implemented exactly once.
 """
 
-from repro.api.config import ClusterConfig
+from repro.api.config import ClusterConfig, WorkerConfig
 from repro.api.results import (
     AssignmentEvaluation,
     ClusterStats,
@@ -44,6 +44,7 @@ from repro.api.session import (
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "WorkerConfig",
     "Session",
     "ClusterStats",
     "IngestReport",

@@ -26,6 +26,65 @@ from repro.stream.orderings import ORDERINGS
 
 
 @dataclass(frozen=True, slots=True)
+class WorkerConfig:
+    """Knobs of the sharded multi-process runtime (:mod:`repro.runtime`).
+
+    ``count``
+        Worker processes queries fan out across.  ``1`` (the default)
+        keeps everything in-process; the pool itself additionally caps
+        the count at ``partitions`` (ownership is per-partition).  Any
+        per-call ``workers=`` argument overrides this.
+    ``start_method``
+        ``multiprocessing`` start method: ``"spawn"`` (default; fresh
+        interpreter per worker, identical semantics on every platform),
+        ``"fork"`` (POSIX only, much faster to boot) or
+        ``"forkserver"``.  All are deterministic here -- workers derive
+        every byte of state from the pickled shard snapshot -- but fork
+        can inherit accidental parent state (open files, import-time
+        caches), so spawn is the default.
+    ``request_timeout``
+        Seconds the coordinator waits on a worker's mailbox before
+        declaring it crashed.
+    ``fallback_serial``
+        When True (default), a crashed/hung worker degrades the call to
+        in-process serial execution with a ``RuntimeWarning`` instead of
+        raising -- same results, no parallelism.  When False the
+        :class:`~repro.runtime.pool.WorkerCrashError` propagates.
+    """
+
+    count: int = 1
+    start_method: str = "spawn"
+    request_timeout: float = 60.0
+    fallback_serial: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.runtime.pool import START_METHODS
+
+        if self.count < 1:
+            raise ConfigurationError("worker count must be >= 1")
+        if self.start_method not in START_METHODS:
+            raise ConfigurationError(
+                f"unknown start method {self.start_method!r}; choose from "
+                f"{START_METHODS}"
+            )
+        if not self.request_timeout > 0:
+            raise ConfigurationError("request_timeout must be positive")
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "WorkerConfig":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown worker config fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """All knobs of a simulated cluster session in one validated object.
 
@@ -67,6 +126,10 @@ class ClusterConfig:
         Extra method-specific overrides forwarded to the partitioner
         builder (e.g. LOOM's ``max_group_size`` or
         ``oversize_strategy``).
+    ``worker``
+        :class:`WorkerConfig` of the sharded multi-process runtime
+        (worker count, start method, timeout, crash fallback).  The
+        default runs everything in-process.
     """
 
     partitions: int = 4
@@ -82,8 +145,19 @@ class ClusterConfig:
     replication_budget: int = 0
     seed: int = 0
     method_options: dict[str, Any] = field(default_factory=dict)
+    worker: WorkerConfig = field(default_factory=WorkerConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.worker, dict):
+            # Accept the JSON-plain spelling (snapshots, kwargs).
+            object.__setattr__(
+                self, "worker", WorkerConfig.from_dict(self.worker)
+            )
+        if not isinstance(self.worker, WorkerConfig):
+            raise ConfigurationError(
+                f"worker must be a WorkerConfig (or its dict form), "
+                f"got {self.worker!r}"
+            )
         if self.partitions < 1:
             raise ConfigurationError("partitions must be >= 1")
         if self.capacity is not None and self.capacity < 1:

@@ -71,6 +71,14 @@ class IngestReport:
     assigned_total: int
     #: Explicit deletion events (edge + vertex removals) in the stream.
     removals: int = 0
+    #: Worker processes that actually materialised shard replicas (the
+    #: pool caps the request at ``partitions``, and a provisioning
+    #: failure degrades to 1 = fully in-process; placement itself is
+    #: always sequential).
+    workers: int = 1
+    #: Slowest worker's shard-replica materialisation time (0.0 when
+    #: everything stayed in-process).
+    shard_import_seconds: float = 0.0
 
     @property
     def events_per_second(self) -> float:

@@ -22,6 +22,16 @@ the engine's ``event_hook``) and every placement the partitioner makes
 (via :attr:`~repro.partitioning.base.PartitionAssignment.on_assign`), so
 the queryable cluster state is maintained *incrementally* as the stream
 is consumed -- never rebuilt from a finished assignment.
+
+Parallel execution: ``ingest``/``query``/``run_workload`` take a
+``workers=N`` argument (defaulting to ``config.worker.count``).  With
+``N > 1`` the session keeps a :class:`~repro.runtime.pool.WorkerPool` of
+shard-hosting worker processes, primed from a pickled snapshot of the
+store and refreshed whenever the resident state changes; queries fan out
+per partition through :class:`~repro.runtime.executor.ShardedExecutor`
+and merge back results guaranteed identical to serial execution.  Call
+:meth:`Session.close` (or use the session as a context manager) to reap
+the workers.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ import dataclasses
 import json
 import random
 import time
+import warnings
 from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
@@ -197,6 +208,11 @@ class Session:
         self._partitioner = None
         self._engine_stats = EngineStats(batch_size=config.batch_size)
         self._latency = config.latency_model()
+        # Sharded runtime state: the pool mirrors the store as of
+        # ``_store_version``; any mutation bumps the version and the
+        # next parallel call re-primes stale workers.
+        self._pool = None
+        self._store_version = 0
 
     # ------------------------------------------------------------------
     # State access
@@ -249,6 +265,113 @@ class Session:
             )
 
     # ------------------------------------------------------------------
+    # Sharded multi-process runtime
+    # ------------------------------------------------------------------
+    @property
+    def pool(self):
+        """The live :class:`~repro.runtime.pool.WorkerPool` (or None)."""
+        return self._pool
+
+    def _resolve_workers(self, workers: int | None) -> int:
+        if workers is None:
+            return self.config.worker.count
+        if workers < 1:
+            raise SessionError("workers must be >= 1 (or None)")
+        return workers
+
+    def _bump_store_version(self) -> None:
+        self._store_version += 1
+
+    def _ensure_pool(self, workers: int):
+        """A primed pool of ``workers`` processes mirroring the store.
+
+        Reuses the live pool when the size matches, re-broadcasting the
+        shard snapshot only if the resident state changed since it was
+        primed; a size change, a dead pool, or a failed refresh (which
+        closes the pool) respawns from scratch.
+        """
+        from repro.runtime.pool import WorkerCrashError, WorkerPool
+        from repro.runtime.snapshot import ShardSnapshot
+
+        worker = self.config.worker
+        requested = min(workers, self.config.partitions)
+        pool = self._pool
+        if pool is not None and (
+            not pool.alive or pool.worker_count != requested
+        ):
+            pool.close()
+            pool = self._pool = None
+        if pool is not None and pool.version != self._store_version:
+            try:
+                pool.refresh(
+                    ShardSnapshot.of(self.store, version=self._store_version)
+                )
+            except WorkerCrashError:
+                # refresh() closed the pool; fall through to a respawn
+                # (spawn failures propagate to the caller's policy).
+                pool = self._pool = None
+        if pool is None:
+            snapshot = ShardSnapshot.of(
+                self.store, version=self._store_version
+            )
+            pool = WorkerPool(
+                snapshot,
+                workers=requested,
+                start_method=worker.start_method,
+                timeout=worker.request_timeout,
+            )
+            self._pool = pool
+        return pool
+
+    def _pool_or_fallback(self, workers: int):
+        """Provision the pool under the crash policy: a provisioning
+        failure degrades to ``None`` (= run in-process) with a warning
+        when ``fallback_serial`` is on, mirroring how mid-request
+        crashes degrade inside the sharded executor."""
+        from repro.runtime.pool import WorkerCrashError
+
+        try:
+            return self._ensure_pool(workers)
+        except WorkerCrashError as error:
+            if not self.config.worker.fallback_serial:
+                raise
+            warnings.warn(
+                "worker pool unavailable; degrading to in-process "
+                f"serial execution: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def _executor(self, workers: int, track_edges: bool):
+        """The executor for ``workers`` processes (serial when 1, or
+        when pool provisioning degraded under the crash policy)."""
+        if workers > 1:
+            from repro.runtime.executor import ShardedExecutor
+
+            pool = self._pool_or_fallback(workers)
+            if pool is not None:
+                return ShardedExecutor(
+                    self.store,
+                    pool,
+                    track_edges=track_edges,
+                    fallback=self.config.worker.fallback_serial,
+                )
+        return DistributedQueryExecutor(self.store, track_edges=track_edges)
+
+    def close(self) -> None:
+        """Reap the worker pool (idempotent; serial state is untouched)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def ingest(
@@ -261,6 +384,7 @@ class Session:
         stats_hooks: Sequence[StatsHook] = (),
         rng: random.Random | None = None,
         seed: int | None = None,
+        workers: int | None = None,
     ) -> IngestReport:
         """Stream ``source`` into the cluster and place every vertex.
 
@@ -290,6 +414,15 @@ class Session:
         ``CapacityExceededError`` (the stream is placed up to the
         failing vertex; open a fresh session with more headroom to
         retry).
+
+        ``workers=N`` (default ``config.worker.count``) additionally
+        shards the post-assignment mirror work across ``N`` worker
+        processes: once the stream is placed, each worker materialises
+        its shard replica from the pickled store snapshot concurrently,
+        leaving the pool primed for parallel queries.  Placement itself
+        is inherently sequential (streaming heuristics are
+        order-dependent by definition), so the coordinator's assignment,
+        store and report are identical whatever ``N`` is.
         """
         if workload is not None:
             self._adopt_workload(workload)
@@ -325,7 +458,21 @@ class Session:
                 event_hook=None if premirrored else self._mirror_batch,
             )
             engine.run(events)
-            self._merge_engine_stats(engine.stats)
+            self._engine_stats.merge(engine.stats)
+        self._bump_store_version()
+        effective_workers = self._resolve_workers(workers)
+        # Reported count is the *actual* pool size (the pool caps at
+        # config.partitions, and provisioning may degrade to serial).
+        pool_workers = 1
+        shard_import_seconds = 0.0
+        if effective_workers > 1 and self.store.is_complete:
+            pool = self._pool_or_fallback(effective_workers)
+            if pool is not None:
+                pool_workers = pool.worker_count
+                shard_import_seconds = max(
+                    (handle.import_seconds for handle in pool.handles),
+                    default=0.0,
+                )
         seconds = time.perf_counter() - began
         return IngestReport(
             events=len(events),
@@ -334,6 +481,8 @@ class Session:
             seconds=seconds,
             assigned_total=self.store.assignment.num_assigned,
             removals=removals,
+            workers=pool_workers,
+            shard_import_seconds=shard_import_seconds,
         )
 
     def _adopt_workload(self, workload: Workload) -> None:
@@ -542,19 +691,6 @@ class Session:
             for vertex, partition in assignment.assigned().items():
                 store.assign_vertex(vertex, partition)
 
-    def _merge_engine_stats(self, run: EngineStats) -> None:
-        stats = self._engine_stats
-        stats.batches += run.batches
-        stats.events += run.events
-        stats.vertices += run.vertices
-        stats.edges += run.edges
-        stats.seconds += run.seconds
-        stats.peak_window_occupancy = max(
-            stats.peak_window_occupancy, run.peak_window_occupancy
-        )
-        if run.stage_seconds:
-            stats.stage_seconds = dict(run.stage_seconds)
-
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
@@ -564,13 +700,19 @@ class Session:
         *,
         name: str = "adhoc",
         track_edges: bool = False,
+        workers: int | None = None,
     ) -> QueryResult:
-        """Execute one pattern query to completion, counting traversals."""
+        """Execute one pattern query to completion, counting traversals.
+
+        ``workers=N`` (default ``config.worker.count``) fans candidate
+        expansion out per partition across the worker pool; the result
+        is identical to serial execution by construction.
+        """
         if not isinstance(pattern, PatternQuery):
             pattern = PatternQuery(name, pattern)
         self._require_complete()
-        executor = DistributedQueryExecutor(
-            self.store, track_edges=track_edges
+        executor = self._executor(
+            self._resolve_workers(workers), track_edges
         )
         execution = executor.execute(pattern)
         ledger = execution.ledger
@@ -592,12 +734,17 @@ class Session:
         rng: random.Random | None = None,
         seed: int | None = None,
         track_edges: bool = False,
+        workers: int | None = None,
     ) -> WorkloadReport:
         """Sample ``executions`` queries by frequency and execute them all.
 
         Defaults to the session's own workload; the sampler draws from
         ``rng``, else from a ``random.Random`` derived from ``seed`` (or
         the config seed), so repeated calls replay the same stream.
+        ``workers=N`` (default ``config.worker.count``) executes the
+        whole sampled stream in one batched fan-out across the worker
+        pool; the report is identical to the serial one under the same
+        seed.
         """
         target = workload or self._workload
         if target is None:
@@ -606,13 +753,32 @@ class Session:
             )
         self._require_complete()
         sampler = rng or self._derived_rng(WORKLOAD_SEED_OFFSET, seed)
-        stats = _execute_workload(
-            self.store,
-            target,
-            executions=executions,
-            rng=sampler,
-            track_edges=track_edges,
+        effective_workers = self._resolve_workers(workers)
+        pool = (
+            self._pool_or_fallback(effective_workers)
+            if effective_workers > 1
+            else None
         )
+        if pool is not None:
+            from repro.runtime.executor import run_sharded_workload
+
+            stats, _ = run_sharded_workload(
+                self.store,
+                target,
+                pool,
+                executions=executions,
+                rng=sampler,
+                track_edges=track_edges,
+                fallback=self.config.worker.fallback_serial,
+            )
+        else:
+            stats = _execute_workload(
+                self.store,
+                target,
+                executions=executions,
+                rng=sampler,
+                track_edges=track_edges,
+            )
         return WorkloadReport.from_stats(stats, self._latency)
 
     # ------------------------------------------------------------------
@@ -743,6 +909,7 @@ class Session:
         self._store = fresh._store
         self._engine_stats = fresh._engine_stats
         self._latency = fresh._latency
+        self._bump_store_version()
         return dataclasses.replace(
             before,
             moved_vertices=moved,
@@ -804,11 +971,12 @@ class Session:
                 event_hook=self._mirror_batch,
             )
             engine.run(events)
-            self._merge_engine_stats(engine.stats)
+            self._engine_stats.merge(engine.stats)
         else:
             # Offline/restored session without a live streaming
             # partitioner: the store is the only state to unwind.
             self._mirror_batch(events)
+        self._bump_store_version()
         total_edges_gone = edges_before - graph.num_edges
         return RetractReport(
             vertices_removed=len(unique_vertices),
@@ -875,6 +1043,7 @@ class Session:
             if mirror is not None:
                 mirror.move(vertex, target)
             moved += 1
+        self._bump_store_version()
         return RebalanceReport(
             total_vertices=graph.num_vertices,
             candidates=len(candidates),
@@ -946,7 +1115,11 @@ class Session:
             self.store, budget=resolved_budget, batch_size=batch_size
         )
         sampler = rng or self._derived_rng(REPLICATION_SEED_OFFSET, seed)
-        return replicator.run(target, executions=executions, rng=sampler)
+        report = replicator.run(target, executions=executions, rng=sampler)
+        # Replicas change locality answers: stale worker replicas would
+        # over-count remote traversals, so the next fan-out re-primes.
+        self._bump_store_version()
+        return report
 
     # ------------------------------------------------------------------
     # Persistence

@@ -1,4 +1,4 @@
-"""Experiment definitions E1-E13 and ablations A1-A4.
+"""Experiment definitions E1-E14 and ablations A1-A4.
 
 Each experiment realises one row of DESIGN.md's per-experiment index and
 returns printable :class:`~repro.bench.tables.Table` objects.  The paper
@@ -776,6 +776,63 @@ def experiment_e13(seed: int = 0, fast: bool = False) -> list[Table]:
 
 
 # ----------------------------------------------------------------------
+# E14 -- sharded multi-process query scaling
+# ----------------------------------------------------------------------
+def experiment_e14(seed: int = 0, fast: bool = False) -> list[Table]:
+    """Scaling curve of the sharded multi-process query runtime.
+
+    Beyond the paper: the partitions actually live in worker processes
+    (:mod:`repro.runtime`), and candidate expansion fans out per
+    partition.  Reported per worker count: observed wall clock, the
+    measured *makespan* (slowest worker's CPU time + merge -- the
+    critical path, i.e. the wall clock with one free core per worker),
+    makespan-based throughput/speedup, and an ``identical`` bit checking
+    the merged results against serial execution field by field.  The
+    shape that must reproduce: speedup grows with workers, results never
+    change.  (On a single-core runner the wall column shows no speedup
+    by construction; the makespan column is the scaling curve.)
+    """
+    from repro.bench.scaling import run_scaling_benchmark
+
+    worker_counts = (1, 2) if fast else (1, 2, 4, 8)
+    result = run_scaling_benchmark(
+        seed=seed,
+        worker_counts=worker_counts,
+        executions=30 if fast else 80,
+        instances=20 if fast else 40,
+        noise=80 if fast else 150,
+    )
+
+    baseline = Table(
+        "E14a: serial baseline (ldg, k=8, in-process executor)",
+        ["graph_vertices", "graph_edges", "executions", "seconds",
+         "queries_per_second"],
+    )
+    baseline.add_row(
+        graph_vertices=result.graph_vertices,
+        graph_edges=result.graph_edges,
+        executions=result.executions,
+        seconds=result.serial_seconds,
+        queries_per_second=round(result.serial_queries_per_second),
+    )
+    scaling = Table(
+        "E14b: sharded-runtime scaling (makespan = max worker CPU + merge)",
+        ["workers", "wall_seconds", "makespan_seconds",
+         "queries_per_second", "speedup", "identical"],
+    )
+    for point in result.points:
+        scaling.add_row(
+            workers=point.workers,
+            wall_seconds=point.wall_seconds,
+            makespan_seconds=point.makespan_seconds,
+            queries_per_second=round(point.queries_per_second),
+            speedup=point.speedup,
+            identical=point.identical,
+        )
+    return [baseline, scaling]
+
+
+# ----------------------------------------------------------------------
 # A1 -- ablation: the section-4.3 re-signature fix
 # ----------------------------------------------------------------------
 def experiment_a1(seed: int = 0, fast: bool = False) -> list[Table]:
@@ -1037,6 +1094,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("E11", "Offline workload-aware skyline", experiment_e11),
         Experiment("E12", "Hotspot replication complementarity", experiment_e12),
         Experiment("E13", "Dynamic-graph churn: deletions & rebalancing", experiment_e13),
+        Experiment("E14", "Sharded multi-process query scaling", experiment_e14),
         Experiment("A1", "Ablation: section-4.3 re-signature fix", experiment_a1),
         Experiment("A2", "Ablation: motif-group assignment", experiment_a2),
         Experiment("A3", "Ablation: TPSTry++ DAG vs path-only TPSTry", experiment_a3),
@@ -1048,7 +1106,7 @@ EXPERIMENTS: dict[str, Experiment] = {
 def run_experiment(
     experiment_id: str, *, seed: int = 0, fast: bool = False
 ) -> list[Table]:
-    """Run one experiment by id (``E1`` ... ``E13``, ``A1`` ... ``A4``)."""
+    """Run one experiment by id (``E1`` ... ``E14``, ``A1`` ... ``A4``)."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(

@@ -31,12 +31,16 @@ def run_bench_suite(
     experiments: tuple[str, ...] | None = None,
     hotpath: bool = True,
     hotpath_repeats: int = 3,
+    scaling: bool = True,
 ) -> dict[str, Any]:
     """Time every experiment (and the hot-path microbenchmark) once.
 
     Experiment tables are rendered but discarded -- this runner's product
     is the timing payload, not the tables (use ``loom-repro experiment``
-    for those).
+    for those).  ``scaling=True`` additionally runs the sharded-runtime
+    scaling measurement (E14's engine, at BENCH-stable sizes) and embeds
+    its worker-count curve -- the ``scaling_*w_speedup`` numbers the
+    bench-trend CI gate watches.
     """
     ids = experiments or tuple(EXPERIMENTS)
     payload: dict[str, Any] = {
@@ -59,6 +63,13 @@ def run_bench_suite(
     if hotpath:
         result = run_hotpath_benchmark(seed=seed, repeats=hotpath_repeats)
         payload["hotpath"] = result.as_dict()
+    if scaling:
+        from repro.bench.scaling import run_scaling_benchmark
+
+        curve = run_scaling_benchmark(
+            seed=seed, worker_counts=(1, 2, 4), executions=100
+        )
+        payload["scaling"] = curve.as_dict()
     return payload
 
 
@@ -113,4 +124,68 @@ def diff_bench(
                 lines.append(
                     f"hotpath {key}: {ours[key]}x vs {theirs[key]}x"
                 )
+    mine = headline_speedups(payload)
+    base = headline_speedups(baseline)
+    for key in sorted(set(mine) & set(base)):
+        if key.startswith("scaling_"):
+            lines.append(f"scaling {key}: {mine[key]}x vs {base[key]}x")
     return lines
+
+
+def headline_speedups(payload: dict[str, Any]) -> dict[str, float]:
+    """Every headline speedup a BENCH payload carries, flat.
+
+    Hot-path microbenchmark speedups (``ldg_speedup``, ``loom_speedup``,
+    ``executor_speedup``) plus the sharded-runtime scaling curve's
+    headline point -- the *largest* worker count measured
+    (``scaling_<n>w_speedup``).  Intermediate worker counts are reported
+    in the payload but not gated on: with more worker processes than
+    free runner cores their run-to-run variance would make a trend gate
+    cry wolf, while the top-of-curve point is what the scaling claim is.
+    These are the numbers the nightly bench-trend workflow gates on.
+    """
+    speedups: dict[str, float] = {}
+    hotpath = payload.get("hotpath") or {}
+    for key in ("ldg_speedup", "loom_speedup", "executor_speedup"):
+        value = hotpath.get(key)
+        if isinstance(value, (int, float)):
+            speedups[key] = float(value)
+    scaling = payload.get("scaling") or {}
+    curve = {
+        key: float(value)
+        for key, value in (scaling.get("speedups") or {}).items()
+        if isinstance(value, (int, float))
+    }
+    if curve:
+        # Keys look like "scaling_4w_speedup"; gate on the largest n.
+        def worker_count(key: str) -> int:
+            return int(key.split("_")[1].rstrip("w"))
+
+        top = max(curve, key=worker_count)
+        speedups[top] = curve[top]
+    return speedups
+
+
+def speedup_regressions(
+    payload: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    floor: float = 0.9,
+) -> list[str]:
+    """Headline speedups of ``payload`` that regressed vs ``baseline``.
+
+    A speedup regresses when it falls below ``floor`` times the
+    baseline's value (0.9 by default: a 10% tolerance for shared-runner
+    noise).  Returns printable failure lines; empty means healthy.
+    Speedups only one side carries are ignored -- a new benchmark must
+    not fail the first nightly run after it lands.
+    """
+    failures: list[str] = []
+    mine = headline_speedups(payload)
+    base = headline_speedups(baseline)
+    for key in sorted(set(mine) & set(base)):
+        if mine[key] < floor * base[key]:
+            failures.append(
+                f"{key}: {mine[key]}x < {floor} * baseline {base[key]}x"
+            )
+    return failures

@@ -7,10 +7,11 @@
     loom-repro experiment E2 A1          # run experiments, print tables
     loom-repro experiment all --json     # ... or machine-readable JSON
     loom-repro demo                      # figure-1 walkthrough
-    loom-repro partition --graph g.txt --method loom -k 4 --json
+    loom-repro partition --graph g.txt --method loom -k 4 --workers 4 --json
     loom-repro retract --snapshot c.json --vertex 7 --edge 1 2 --out c2.json
     loom-repro rebalance --snapshot c.json --max-moves 20 --out c2.json
-    loom-repro bench --out BENCH_PR4.json --baseline BENCH_PR3.json
+    loom-repro bench --out BENCH_PR5.json --baseline BENCH_PR4.json
+    loom-repro bench --baseline BENCH_PR5.json --fail-below 0.9
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -34,7 +35,7 @@ import random
 import sys
 from pathlib import Path
 
-from repro.api import Cluster, ClusterConfig
+from repro.api import Cluster, ClusterConfig, WorkerConfig
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.engine.registry import UnknownPartitionerError, default_registry
 from repro.exceptions import ConfigurationError, GraphError, SessionError
@@ -148,6 +149,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             window_size=args.window,
             ordering=args.ordering,
             seed=args.seed,
+            worker=WorkerConfig(count=args.workers),
         )
     except (UnknownPartitionerError, ConfigurationError) as error:
         return _fail(str(error))
@@ -161,30 +163,37 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         graph, ordering=args.ordering, rng=random.Random(args.seed)
     )
     session = Cluster.open(config, workload=workload)
-    session.ingest(events, graph=graph)
-    stats = session.stats()
-    payload = {
-        "method": args.method,
-        "k": args.k,
-        "ordering": args.ordering,
-        "seed": args.seed,
-        "cut_fraction": stats.cut_fraction,
-        "max_load": stats.max_load,
-        "sizes": stats.sizes,
-    }
-    if spec.is_streaming:
-        payload["vertices_per_second"] = round(
-            session.engine_stats.vertices_per_second
-        )
-    if workload is not None:
-        report = session.run_workload(
-            executions=args.queries * 20, rng=random.Random(args.seed + 2)
-        )
-        payload["p_remote"] = report.remote_probability
+    try:
+        session.ingest(events, graph=graph)
+        stats = session.stats()
+        payload = {
+            "method": args.method,
+            "k": args.k,
+            "ordering": args.ordering,
+            "seed": args.seed,
+            "workers": args.workers,
+            "cut_fraction": stats.cut_fraction,
+            "max_load": stats.max_load,
+            "sizes": stats.sizes,
+        }
+        if spec.is_streaming:
+            payload["vertices_per_second"] = round(
+                session.engine_stats.vertices_per_second
+            )
+        if workload is not None:
+            report = session.run_workload(
+                executions=args.queries * 20, rng=random.Random(args.seed + 2)
+            )
+            payload["p_remote"] = report.remote_probability
+    finally:
+        session.close()
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
-    print(f"method={args.method} k={args.k} ordering={args.ordering}")
+    print(
+        f"method={args.method} k={args.k} ordering={args.ordering} "
+        f"workers={args.workers}"
+    )
     print(f"cut_fraction={payload['cut_fraction']:.4f}")
     print(f"max_load={payload['max_load']:.4f}")
     print(f"sizes={payload['sizes']}")
@@ -278,6 +287,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         diff_bench,
         load_bench_json,
         run_bench_suite,
+        speedup_regressions,
         write_bench_json,
     )
 
@@ -289,8 +299,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return _fail(f"cannot read baseline {args.baseline!r}: {error}")
         except ValueError as error:
             return _fail(str(error))
+    if args.fail_below is not None and baseline is None:
+        return _fail("--fail-below needs --baseline to compare against")
     payload = run_bench_suite(
-        seed=args.seed, fast=not args.full, hotpath=not args.no_hotpath
+        seed=args.seed,
+        fast=not args.full,
+        hotpath=not args.no_hotpath,
+        scaling=not args.no_scaling,
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
@@ -300,6 +315,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for line in diff_bench(payload, baseline):
             print(f"  {line}")
     print(f"wrote {target}")
+    if args.fail_below is not None:
+        failures = speedup_regressions(
+            payload, baseline, floor=args.fail_below
+        )
+        if failures:
+            print(
+                f"FAIL: headline speedups regressed below "
+                f"{args.fail_below}x of {args.baseline}:",
+                file=sys.stderr,
+            )
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"headline speedups within {args.fail_below}x of baseline")
     return 0
 
 
@@ -339,6 +368,9 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--window", type=int, default=128)
     part.add_argument("--queries", type=int, default=4,
                       help="queries sampled from the graph for workload-aware methods")
+    part.add_argument("--workers", type=int, default=1,
+                      help="worker processes for sharded query execution "
+                      "(1 = in-process; results are identical either way)")
     part.add_argument("--seed", type=int, default=0)
     part.add_argument("--json", action="store_true",
                       help="print the typed result as JSON")
@@ -374,13 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the benchmark suite, write machine-readable JSON"
     )
-    bench.add_argument("--out", default="BENCH_PR4.json")
+    bench.add_argument("--out", default="BENCH_PR5.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--full", action="store_true", help="full grids (slow)")
     bench.add_argument("--no-hotpath", action="store_true",
                        help="skip the engine hot-path microbenchmark")
+    bench.add_argument("--no-scaling", action="store_true",
+                       help="skip the sharded-runtime scaling measurement")
     bench.add_argument("--baseline", default=None, metavar="BENCH_JSON",
                        help="prior BENCH file to print deltas against")
+    bench.add_argument("--fail-below", type=float, default=None,
+                       metavar="FLOOR",
+                       help="exit 1 if any headline speedup falls below "
+                       "FLOOR times the baseline's (bench-trend CI gate)")
     bench.set_defaults(fn=_cmd_bench)
     return parser
 

@@ -20,6 +20,7 @@ query q in Q crosses a partition boundary**, plus derived quantities
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.cluster.latency import LatencyModel
@@ -95,12 +96,28 @@ class QueryExecution:
         return self.ledger.remote == 0
 
 
+#: One deduplicated query answer: the matched vertex set plus the matched
+#: edge set as compact int edge ids.  Hashable and picklable, so partial
+#: executions can merge answer sets across processes.
+Answer = tuple[frozenset, frozenset]
+
+
 class DistributedQueryExecutor:
     """Backtracking pattern matching with traversal accounting.
 
     ``track_edges=True`` additionally records how often each concrete
     graph edge is traversed (workload profiling for the offline
     workload-aware baseline and the replication layer).
+
+    The top-level search decomposes perfectly by *seed*: each candidate
+    image of the first pattern vertex roots an independent subtree
+    (``mapping``/``used`` are empty between seeds, and answer dedup never
+    prunes traversals).  :meth:`execute_partial` exposes that seam -- run
+    only the subtrees rooted at ``seeds`` and return the raw answer set
+    plus ledger -- which is what the sharded multi-process runtime
+    (:mod:`repro.runtime`) fans out per partition; summing partial
+    ledgers and unioning partial answer sets reproduces a serial
+    :meth:`execute` exactly.
     """
 
     def __init__(
@@ -109,8 +126,31 @@ class DistributedQueryExecutor:
         self.store = store
         self.track_edges = track_edges
 
+    def seed_candidates(self, pattern) -> list[Vertex]:
+        """Depth-0 candidates: the label-index lookup for the first vertex
+        of the search order, in the executor's deterministic (repr) order.
+        No edge is crossed, so seeds are ledger-free."""
+        order = _search_order(pattern)
+        if not order:
+            return []
+        wanted = pattern.label(order[0])
+        return sorted(self.store.vertices_with_label(wanted), key=repr)
+
     def execute(self, query: PatternQuery) -> QueryExecution:
         """Run ``query`` to completion (all matches), counting traversals."""
+        answers, ledger = self.execute_partial(query, None)
+        return QueryExecution(query.name, len(answers), ledger)
+
+    def execute_partial(
+        self, query: PatternQuery, seeds: Sequence[Vertex] | None
+    ) -> tuple[set[Answer], TraversalLedger]:
+        """Run only the search subtrees rooted at ``seeds``.
+
+        ``seeds`` must be a subset of :meth:`seed_candidates` for the
+        query's pattern (``None`` means all of them, i.e. a full serial
+        execution).  Returns the deduplicated answer set found under
+        those seeds and the traversal ledger of exactly that work.
+        """
         pattern = query.graph
         store = self.store
         ledger = TraversalLedger(track_edges=self.track_edges)
@@ -128,8 +168,7 @@ class DistributedQueryExecutor:
         store_label = store.label
         mapping: dict[Vertex, Vertex] = {}
         used: set[Vertex] = set()
-        found = 0
-        seen_answers: set[tuple] = set()
+        seen_answers: set[Answer] = set()
 
         def candidates(pattern_vertex: Vertex) -> list[Vertex]:
             wanted = pattern.label(pattern_vertex)
@@ -176,22 +215,20 @@ class DistributedQueryExecutor:
             return out
 
         def backtrack(depth: int) -> None:
-            nonlocal found
             if depth == len(order):
                 # A query answer is a sub-graph: dedup by mapped vertices
                 # *and* mapped edges (two embeddings over the same vertex
                 # set can select different edges, e.g. a path inside a
                 # triangle), matching the reference matcher exactly.
-                answer = (
-                    frozenset(mapping.values()),
-                    frozenset(
-                        answer_edge_id(mapping[u], mapping[v])
-                        for u, v in pattern_edges
-                    ),
+                seen_answers.add(
+                    (
+                        frozenset(mapping.values()),
+                        frozenset(
+                            answer_edge_id(mapping[u], mapping[v])
+                            for u, v in pattern_edges
+                        ),
+                    )
                 )
-                if answer not in seen_answers:
-                    seen_answers.add(answer)
-                    found += 1
                 return
             pattern_vertex = order[depth]
             for candidate in candidates(pattern_vertex):
@@ -201,8 +238,19 @@ class DistributedQueryExecutor:
                 del mapping[pattern_vertex]
                 used.discard(candidate)
 
-        backtrack(0)
-        return QueryExecution(query.name, found, ledger)
+        if not order:
+            # Degenerate empty pattern (unreachable through PatternQuery,
+            # which requires at least one vertex): one empty answer.
+            seen_answers.add((frozenset(), frozenset()))
+        else:
+            first = order[0]
+            for seed in candidates(first) if seeds is None else seeds:
+                mapping[first] = seed
+                used.add(seed)
+                backtrack(1)
+                del mapping[first]
+                used.discard(seed)
+        return seen_answers, ledger
 
 
 @dataclass

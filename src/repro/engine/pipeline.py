@@ -119,6 +119,26 @@ class EngineStats:
         if batch.stage_seconds is not None:
             self.stage_seconds = dict(batch.stage_seconds)
 
+    def merge(self, run: "EngineStats") -> None:
+        """Fold another run's aggregates into this one.
+
+        Used by the session façade to accumulate per-ingest engine runs
+        into one session-lifetime aggregate, and by anything else that
+        stitches multiple engine runs into a single report.  Stage
+        timings are cumulative snapshots, so the newest run's snapshot
+        wins outright rather than summing.
+        """
+        self.batches += run.batches
+        self.events += run.events
+        self.vertices += run.vertices
+        self.edges += run.edges
+        self.seconds += run.seconds
+        self.peak_window_occupancy = max(
+            self.peak_window_occupancy, run.peak_window_occupancy
+        )
+        if run.stage_seconds:
+            self.stage_seconds = dict(run.stage_seconds)
+
 
 StatsHook = Callable[[BatchStats], None]
 

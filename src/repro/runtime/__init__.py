@@ -1,0 +1,67 @@
+"""``repro.runtime`` -- the sharded multi-process query runtime.
+
+Everything before this package *simulates* distribution inside one
+Python process; this package makes the partitioned store actually span
+processes.  Each worker hosts a shard replica booted from a pickled
+:class:`ShardSnapshot`, owns a round-robin slice of the partitions, and
+serves batched mailbox requests; the :class:`ShardedExecutor` fans
+candidate expansion out per partition and merges traversal ledgers and
+answer sets so parallel results are byte-identical to serial execution.
+
+The session façade integrates it behind one knob::
+
+    from repro.api import Cluster, ClusterConfig, WorkerConfig
+
+    session = Cluster.open(
+        ClusterConfig(partitions=8, worker=WorkerConfig(count=4)),
+        workload=my_workload,
+    )
+    session.ingest("social", workers=4)       # primes the pool too
+    report = session.run_workload(workers=4)  # == serial, measured in parallel
+    session.close()                           # reaps the worker processes
+
+Direct use (research code, benchmarks)::
+
+    from repro.runtime import ShardSnapshot, WorkerPool, ShardedExecutor
+
+    with WorkerPool(ShardSnapshot.of(store), workers=4) as pool:
+        result = ShardedExecutor(store, pool).execute(query)
+"""
+
+from repro.runtime.executor import (
+    FanoutStats,
+    ShardedExecutor,
+    run_sharded_workload,
+)
+from repro.runtime.mailbox import (
+    MailboxClosedError,
+    MailboxTimeoutError,
+    QueryPayload,
+)
+from repro.runtime.pool import (
+    START_METHODS,
+    WorkerCrashError,
+    WorkerHandle,
+    WorkerPool,
+)
+from repro.runtime.snapshot import (
+    SHARD_SNAPSHOT_SCHEMA,
+    ShardSnapshot,
+    owned_partitions,
+)
+
+__all__ = [
+    "FanoutStats",
+    "MailboxClosedError",
+    "MailboxTimeoutError",
+    "QueryPayload",
+    "SHARD_SNAPSHOT_SCHEMA",
+    "START_METHODS",
+    "ShardSnapshot",
+    "ShardedExecutor",
+    "WorkerCrashError",
+    "WorkerHandle",
+    "WorkerPool",
+    "owned_partitions",
+    "run_sharded_workload",
+]

@@ -1,0 +1,183 @@
+"""Sharded query execution: the multi-process sibling of the serial executor.
+
+:class:`ShardedExecutor` presents the same ``execute`` contract as
+:class:`~repro.cluster.executor.DistributedQueryExecutor`, but fans the
+work out across a :class:`~repro.runtime.pool.WorkerPool`: every worker
+runs the search subtrees rooted at the depth-0 seeds homed in its owned
+partitions, and the coordinator merges the partial
+:class:`~repro.cluster.executor.TraversalLedger` counts and answer sets
+deterministically.  The merge is exact, not approximate:
+
+* per-seed subtrees are independent (``mapping``/``used`` reset between
+  seeds, dedup never prunes traversals), so summing partial local/remote
+  counts equals the serial ledger;
+* answers dedup by (vertex set, edge-id set), and all workers share one
+  snapshot -- identical slot numbering -- so unioning their answer sets
+  equals the serial ``seen_answers``.
+
+Hence a parallel :class:`QueryExecution` (and any
+``WorkloadStats``/report built from it) is byte-identical to the serial
+one, under any seed, on any dataset.
+
+Degradation: any worker crash, hang or in-worker exception surfaces as
+:class:`~repro.runtime.pool.WorkerCrashError`; with ``fallback=True``
+(the default) the executor emits a :class:`RuntimeWarning` and re-runs
+the whole batch in-process with the serial executor instead of hanging
+on a dead mailbox -- same results, no parallelism.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.executor import (
+    DistributedQueryExecutor,
+    QueryExecution,
+    TraversalLedger,
+    WorkloadStats,
+)
+from repro.cluster.store import DistributedGraphStore
+from repro.runtime.pool import WorkerCrashError, WorkerPool
+from repro.workload.query import PatternQuery
+from repro.workload.workloads import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutStats:
+    """Measured cost profile of one batched fan-out.
+
+    ``worker_cpu_seconds`` is each worker's own CPU time for its share;
+    ``coordinator_seconds`` is the CPU time the merge took.  The
+    *makespan* -- what the batch would take with one free core per
+    worker -- is the slowest worker plus the merge.  ``wall_seconds`` is
+    the observed wall clock, which on a machine with fewer cores than
+    workers approaches the CPU total instead of the makespan.
+    """
+
+    executions: int
+    wall_seconds: float
+    coordinator_seconds: float
+    worker_cpu_seconds: tuple[float, ...]
+    fallback_used: bool = False
+
+    @property
+    def makespan_seconds(self) -> float:
+        slowest = max(self.worker_cpu_seconds, default=0.0)
+        return slowest + self.coordinator_seconds
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(self.worker_cpu_seconds) + self.coordinator_seconds
+
+
+class ShardedExecutor:
+    """Per-partition fan-out execution over a primed worker pool."""
+
+    def __init__(
+        self,
+        store: DistributedGraphStore,
+        pool: WorkerPool,
+        *,
+        track_edges: bool = False,
+        fallback: bool = True,
+    ) -> None:
+        self.store = store
+        self.pool = pool
+        self.track_edges = track_edges
+        self.fallback = fallback
+        #: Cost profile of the most recent :meth:`run` (None before any).
+        self.last_fanout: FanoutStats | None = None
+
+    def execute(self, query: PatternQuery) -> QueryExecution:
+        """Run one query across the pool (serial-identical result)."""
+        return self.run([query])[0]
+
+    def run(self, queries: Sequence[PatternQuery]) -> list[QueryExecution]:
+        """Run a whole batch in one round trip per worker."""
+        began_wall = time.perf_counter()
+        try:
+            responses = self.pool.execute(
+                queries, track_edges=self.track_edges
+            )
+        except WorkerCrashError as error:
+            if not self.fallback:
+                raise
+            warnings.warn(
+                "sharded execution degraded to in-process serial "
+                f"execution: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            began_cpu = time.process_time()
+            serial = DistributedQueryExecutor(
+                self.store, track_edges=self.track_edges
+            )
+            executions = [serial.execute(query) for query in queries]
+            elapsed = time.process_time() - began_cpu
+            self.last_fanout = FanoutStats(
+                executions=len(queries),
+                wall_seconds=time.perf_counter() - began_wall,
+                coordinator_seconds=elapsed,
+                worker_cpu_seconds=(),
+                fallback_used=True,
+            )
+            return executions
+        began_cpu = time.process_time()
+        executions: list[QueryExecution] = []
+        for index, query in enumerate(queries):
+            ledger = TraversalLedger(track_edges=self.track_edges)
+            answers: set = set()
+            for response in responses:
+                partial = response.results[index]
+                ledger.local += partial.local
+                ledger.remote += partial.remote
+                answers.update(partial.answers)
+                if self.track_edges and partial.edge_counts:
+                    counts = ledger.edge_counts
+                    for edge, count in partial.edge_counts:
+                        counts[edge] = counts.get(edge, 0) + count
+            executions.append(
+                QueryExecution(query.name, len(answers), ledger)
+            )
+        self.last_fanout = FanoutStats(
+            executions=len(queries),
+            wall_seconds=time.perf_counter() - began_wall,
+            coordinator_seconds=time.process_time() - began_cpu,
+            worker_cpu_seconds=tuple(r.cpu_seconds for r in responses),
+        )
+        return executions
+
+
+def run_sharded_workload(
+    store: DistributedGraphStore,
+    workload: Workload,
+    pool: WorkerPool,
+    *,
+    executions: int = 200,
+    rng: random.Random | int,
+    track_edges: bool = False,
+    fallback: bool = True,
+) -> tuple[WorkloadStats, FanoutStats]:
+    """The parallel twin of :func:`repro.cluster.executor.run_workload`.
+
+    Samples the identical query stream (same RNG discipline), executes
+    it in one batched fan-out, and aggregates the merged executions in
+    sample order -- the returned :class:`WorkloadStats` is equal, field
+    for field, to the serial function's under the same seed.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    queries = list(workload.sample_many(executions, rng))
+    executor = ShardedExecutor(
+        store, pool, track_edges=track_edges, fallback=fallback
+    )
+    stats = WorkloadStats()
+    stats.ledger.track_edges = track_edges
+    for execution in executor.run(queries):
+        stats.observe(execution)
+    assert executor.last_fanout is not None
+    return stats, executor.last_fanout

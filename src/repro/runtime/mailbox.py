@@ -1,0 +1,170 @@
+"""Batched mailbox protocol between the coordinator and shard workers.
+
+One duplex :func:`multiprocessing.Pipe` per worker carries a small,
+versioned vocabulary of picklable messages.  Requests are *batched* by
+construction -- an :class:`ExecuteRequest` ships a whole list of query
+payloads in one message, and the matching :class:`ExecuteResponse` ships
+every partial result back in one message -- so a full workload run costs
+exactly one round trip per worker, not one per query.
+
+The coordinator side wraps its pipe end in a :class:`Mailbox`, which
+turns the raw connection errors into the two failure modes the runtime
+distinguishes: a *dead* peer (:class:`MailboxClosedError`: the process
+exited or the pipe broke) and a *silent* peer
+(:class:`MailboxTimeoutError`: nothing arrived within the deadline).
+Both are grounds for the pool to declare the worker crashed and for the
+sharded executor to fall back to in-process execution instead of
+hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.workload.query import PatternQuery
+from repro.graph.labelled import LabelledGraph
+
+
+class MailboxClosedError(RuntimeError):
+    """The peer's pipe end is gone (worker exited or was killed)."""
+
+
+class MailboxTimeoutError(RuntimeError):
+    """The peer sent nothing within the allotted deadline."""
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPayload:
+    """A pattern query flattened to plain picklable tuples.
+
+    Vertices ship in the pattern graph's insertion order, so the worker
+    rebuilds a graph with identical iteration order -- and therefore an
+    identical search order -- to the coordinator's.
+    """
+
+    name: str
+    vertices: tuple[tuple[Any, str], ...]
+    edges: tuple[tuple[Any, Any], ...]
+
+    @classmethod
+    def from_query(cls, query: PatternQuery) -> "QueryPayload":
+        graph = query.graph
+        return cls(
+            name=query.name,
+            vertices=tuple(
+                (vertex, graph.label(vertex)) for vertex in graph.vertices()
+            ),
+            edges=tuple(graph.edges()),
+        )
+
+    def to_query(self) -> PatternQuery:
+        graph = LabelledGraph()
+        for vertex, label in self.vertices:
+            graph.add_vertex(vertex, label)
+        for u, v in self.edges:
+            graph.add_edge(u, v)
+        return PatternQuery(self.name, graph)
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """Worker -> coordinator, once, after the shard snapshot imported."""
+
+    worker_id: int
+    partitions: tuple[int, ...]
+    import_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExecuteRequest:
+    """Coordinator -> worker: run every query against the worker's seeds."""
+
+    request_id: int
+    queries: tuple[QueryPayload, ...]
+    track_edges: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PartialResult:
+    """One query's partial execution on one worker's owned partitions.
+
+    ``answers`` are the deduplicated answer keys (vertex frozenset plus
+    frozenset of compact int edge ids); unioning them across workers and
+    summing the traversal counts reproduces the serial execution
+    exactly.
+    """
+
+    local: int
+    remote: int
+    answers: tuple[tuple[frozenset, frozenset], ...]
+    edge_counts: tuple[tuple[Any, int], ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ExecuteResponse:
+    """Worker -> coordinator: every partial result of one request, plus
+    the CPU seconds the worker spent producing them (the scaling
+    experiment's makespan input)."""
+
+    request_id: int
+    worker_id: int
+    results: tuple[PartialResult, ...]
+    cpu_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshRequest:
+    """Coordinator -> worker: replace the resident shard state."""
+
+    state: dict[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshResponse:
+    worker_id: int
+    import_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorResponse:
+    """Worker -> coordinator: a request raised; the traceback rides along."""
+
+    worker_id: int
+    traceback: str
+
+
+@dataclass(frozen=True, slots=True)
+class Shutdown:
+    """Coordinator -> worker: drain and exit cleanly."""
+
+
+class Mailbox:
+    """Coordinator-side endpoint of one worker's duplex pipe."""
+
+    def __init__(self, connection: Connection) -> None:
+        self._connection = connection
+
+    def send(self, message: Any) -> None:
+        try:
+            self._connection.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise MailboxClosedError(str(error)) from error
+
+    def recv(self, timeout: float) -> Any:
+        """Receive one message, waiting at most ``timeout`` seconds."""
+        try:
+            if not self._connection.poll(max(timeout, 0.0)):
+                raise MailboxTimeoutError(
+                    f"no message within {timeout:.1f}s"
+                )
+            return self._connection.recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise MailboxClosedError(str(error)) from error
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

@@ -1,0 +1,266 @@
+"""The worker pool: spawn, prime, dispatch, collect, shut down.
+
+A :class:`WorkerPool` hosts ``N`` worker processes, each booted from the
+same pickled :class:`~repro.runtime.snapshot.ShardSnapshot` and owning a
+disjoint round-robin slice of the partitions.  The pool is the only
+place that talks to the mailboxes: it broadcasts batched requests,
+gathers one response per worker under a shared deadline, and converts
+every failure mode -- a dead process, a broken pipe, a silent worker, an
+in-worker exception -- into :class:`WorkerCrashError`, which callers
+(the sharded executor) treat as "degrade to in-process execution now".
+
+Start methods: ``spawn`` gives every worker a fresh interpreter (the
+cross-platform default; slower to boot), ``fork`` clones the parent
+(fast, POSIX only).  Both are deterministic here -- workers derive all
+state from the pickled snapshot and never read global randomness -- but
+``spawn`` is the default because it behaves identically on every
+platform and cannot inherit accidental parent state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.runtime.mailbox import (
+    ErrorResponse,
+    ExecuteRequest,
+    ExecuteResponse,
+    Hello,
+    Mailbox,
+    MailboxClosedError,
+    MailboxTimeoutError,
+    QueryPayload,
+    RefreshRequest,
+    RefreshResponse,
+    Shutdown,
+)
+from repro.runtime.snapshot import ShardSnapshot, owned_partitions
+
+#: Start methods the pool accepts (validated here and by WorkerConfig).
+START_METHODS = ("spawn", "fork", "forkserver")
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died, hung past the deadline, or raised in-process."""
+
+
+@dataclass
+class WorkerHandle:
+    """One live worker: its process, mailbox and owned partitions."""
+
+    worker_id: int
+    process: multiprocessing.process.BaseProcess
+    mailbox: Mailbox
+    partitions: tuple[int, ...]
+    import_seconds: float = 0.0
+
+
+class WorkerPool:
+    """``N`` shard-hosting worker processes behind batched mailboxes."""
+
+    def __init__(
+        self,
+        snapshot: ShardSnapshot,
+        *,
+        workers: int,
+        start_method: str = "spawn",
+        timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if start_method not in START_METHODS:
+            raise ValueError(
+                f"unknown start method {start_method!r}; "
+                f"choose from {START_METHODS}"
+            )
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        # More workers than partitions would only add idle processes:
+        # ownership is per-partition, so the pool caps itself at k.
+        workers = min(workers, snapshot.k)
+        self.timeout = timeout
+        self.version = snapshot.version
+        self._request_id = 0
+        self._closed = False
+        from repro.runtime.worker import worker_main
+
+        context = multiprocessing.get_context(start_method)
+        handles: list[WorkerHandle] = []
+        try:
+            for worker_id in range(workers):
+                parent_end, child_end = context.Pipe(duplex=True)
+                partitions = owned_partitions(snapshot.k, workers, worker_id)
+                process = context.Process(
+                    target=worker_main,
+                    args=(worker_id, child_end, snapshot, partitions),
+                    name=f"repro-shard-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                handles.append(
+                    WorkerHandle(
+                        worker_id, process, Mailbox(parent_end), partitions
+                    )
+                )
+            self.handles: tuple[WorkerHandle, ...] = tuple(handles)
+            for handle in self.handles:
+                hello = self._receive(handle)
+                if not isinstance(hello, Hello):
+                    raise WorkerCrashError(
+                        f"worker {handle.worker_id} sent "
+                        f"{type(hello).__name__} instead of Hello"
+                    )
+                handle.import_seconds = hello.import_seconds
+        except BaseException:
+            self.handles = tuple(handles)
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def worker_count(self) -> int:
+        return len(self.handles)
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed and all(
+            handle.process.is_alive() for handle in self.handles
+        )
+
+    def _receive(self, handle: WorkerHandle):
+        """One message from ``handle``, policing deadline and liveness."""
+        try:
+            message = handle.mailbox.recv(self.timeout)
+        except MailboxTimeoutError as error:
+            state = (
+                "alive but silent"
+                if handle.process.is_alive()
+                else f"dead (exitcode={handle.process.exitcode})"
+            )
+            raise WorkerCrashError(
+                f"worker {handle.worker_id} {state}: {error}"
+            ) from error
+        except MailboxClosedError as error:
+            raise WorkerCrashError(
+                f"worker {handle.worker_id} pipe closed "
+                f"(exitcode={handle.process.exitcode}): {error}"
+            ) from error
+        if isinstance(message, ErrorResponse):
+            raise WorkerCrashError(
+                f"worker {handle.worker_id} raised:\n{message.traceback}"
+            )
+        return message
+
+    def _broadcast(self, message) -> None:
+        for handle in self.handles:
+            try:
+                handle.mailbox.send(message)
+            except MailboxClosedError as error:
+                raise WorkerCrashError(
+                    f"worker {handle.worker_id} unreachable "
+                    f"(exitcode={handle.process.exitcode}): {error}"
+                ) from error
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        queries: Sequence,
+        *,
+        track_edges: bool = False,
+    ) -> list[ExecuteResponse]:
+        """Fan one batch of queries out to every worker; gather all
+        responses (ordered by worker id).  Raises
+        :class:`WorkerCrashError` on any dead/silent/raising worker --
+        and **closes the pool** when it does: a failed round trip can
+        leave undrained responses in the pipes (a timed-out worker may
+        answer late), so the mailboxes can never be trusted again.  The
+        session layer notices ``alive`` went False and respawns.
+        """
+        if self._closed:
+            raise WorkerCrashError("pool is closed")
+        self._request_id += 1
+        request = ExecuteRequest(
+            request_id=self._request_id,
+            queries=tuple(QueryPayload.from_query(q) for q in queries),
+            track_edges=track_edges,
+        )
+        try:
+            self._broadcast(request)
+            responses: list[ExecuteResponse] = []
+            for handle in self.handles:
+                message = self._receive(handle)
+                if (
+                    not isinstance(message, ExecuteResponse)
+                    or message.request_id != request.request_id
+                ):
+                    raise WorkerCrashError(
+                        f"worker {handle.worker_id} answered out of "
+                        f"protocol: {type(message).__name__}"
+                    )
+                responses.append(message)
+        except WorkerCrashError:
+            self.close()
+            raise
+        return responses
+
+    def refresh(self, snapshot: ShardSnapshot) -> float:
+        """Replace every worker's resident shard state in place.
+
+        Returns the slowest worker's import time.  Much cheaper than
+        respawning the pool after each ingest/retract/rebalance.  Like
+        :meth:`execute`, a failed refresh closes the pool -- half the
+        workers may already hold the new state, so partial success is
+        indistinguishable from corruption.
+        """
+        if self._closed:
+            raise WorkerCrashError("pool is closed")
+        try:
+            self._broadcast(RefreshRequest(snapshot.state))
+            slowest = 0.0
+            for handle in self.handles:
+                message = self._receive(handle)
+                if not isinstance(message, RefreshResponse):
+                    raise WorkerCrashError(
+                        f"worker {handle.worker_id} answered out of "
+                        f"protocol: {type(message).__name__}"
+                    )
+                handle.import_seconds = message.import_seconds
+                slowest = max(slowest, message.import_seconds)
+        except WorkerCrashError:
+            self.close()
+            raise
+        self.version = snapshot.version
+        return slowest
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and reap every worker (idempotent, never raises)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.handles:
+            try:
+                handle.mailbox.send(Shutdown())
+            except MailboxClosedError:
+                pass
+        for handle in self.handles:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            handle.mailbox.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.worker_count}, "
+            f"version={self.version}, alive={self.alive})"
+        )

@@ -1,0 +1,69 @@
+"""End-to-end sharded-runtime smoke: spawn, ingest, query, shut down.
+
+Run as ``python -m repro.runtime.smoke`` (CI's bench-smoke job does).
+Opens a 2-worker session, ingests the motif testbed, executes the same
+workload serially and through the worker pool, and exits non-zero if the
+two reports diverge by a single field, a worker misbehaves, or shutdown
+leaves a process behind -- the fast regression tripwire for
+worker-process breakage on shared runners.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import Cluster, ClusterConfig, WorkerConfig
+from repro.bench.experiments import _motif_testbed
+
+WORKERS = 2
+
+
+def main(start_method: str = "spawn") -> int:
+    graph, workload = _motif_testbed(0, instances=15, noise=40)
+    session = Cluster.open(
+        ClusterConfig(
+            partitions=4,
+            method="ldg",
+            seed=0,
+            worker=WorkerConfig(
+                count=WORKERS,
+                start_method=start_method,
+                request_timeout=120.0,
+                fallback_serial=False,
+            ),
+        ),
+        workload=workload,
+    )
+    try:
+        ingest = session.ingest(graph, workers=WORKERS)
+        serial = session.run_workload(executions=40, seed=1, workers=1)
+        parallel = session.run_workload(executions=40, seed=1)
+        print(
+            f"ingested |V|={ingest.vertices} |E|={ingest.edges} across "
+            f"{ingest.workers} workers "
+            f"(shard import {ingest.shard_import_seconds * 1e3:.1f}ms); "
+            f"serial P(remote)={serial.remote_probability:.3f} "
+            f"parallel P(remote)={parallel.remote_probability:.3f}"
+        )
+        if session.pool is None or not session.pool.alive:
+            print("FAIL: worker pool did not come up", file=sys.stderr)
+            return 1
+        processes = [handle.process for handle in session.pool.handles]
+        if serial != parallel:
+            print(
+                f"FAIL: parallel report diverged from serial\n"
+                f"  serial:   {serial}\n  parallel: {parallel}",
+                file=sys.stderr,
+            )
+            return 1
+    finally:
+        session.close()
+    if any(process.is_alive() for process in processes):
+        print("FAIL: worker survived session.close()", file=sys.stderr)
+        return 1
+    print(f"{WORKERS}-worker runtime smoke ok ({start_method})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -1,0 +1,66 @@
+"""Pickled shard snapshots: what a worker process boots from.
+
+A :class:`ShardSnapshot` wraps the store's position-encoded
+:meth:`~repro.cluster.store.DistributedGraphStore.export_state` payload
+(compact int edge-id batches, insertion-ordered vertices) together with
+a version counter, so the pool can tell whether its workers still mirror
+the coordinator's store.  Restoring a snapshot yields a store whose
+iteration order, label index, assignment and replica map reproduce the
+original's traversal behaviour exactly -- the precondition for the
+sharded executor's byte-identical merge guarantee.
+
+Partition *ownership* is a pure function of ``(k, worker_count)``:
+partition ``p`` belongs to worker ``p % worker_count``.  Every worker
+(and the coordinator) derives the same map independently, so no seed
+lists ever need to be shipped -- a worker keeps exactly the depth-0
+candidates homed in its own partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.store import DistributedGraphStore
+
+#: Snapshot format identifier (bumped on incompatible layout changes).
+SHARD_SNAPSHOT_SCHEMA = "loom-repro/shard-snapshot/v1"
+
+
+def owned_partitions(k: int, worker_count: int, worker_id: int) -> tuple[int, ...]:
+    """The partitions worker ``worker_id`` of ``worker_count`` serves."""
+    return tuple(p for p in range(k) if p % worker_count == worker_id)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSnapshot:
+    """One picklable image of the coordinator's store, plus its version."""
+
+    state: dict[str, Any] = field(repr=False)
+    version: int = 0
+    schema: str = SHARD_SNAPSHOT_SCHEMA
+
+    @classmethod
+    def of(cls, store: DistributedGraphStore, *, version: int = 0) -> "ShardSnapshot":
+        return cls(state=store.export_state(), version=version)
+
+    def restore(self) -> DistributedGraphStore:
+        return DistributedGraphStore.import_state(self.state)
+
+    @property
+    def k(self) -> int:
+        return int(self.state["k"])
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.state["vertices"])
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.state["edge_ids"])
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSnapshot(k={self.k}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, version={self.version})"
+        )

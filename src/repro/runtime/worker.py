@@ -1,0 +1,140 @@
+"""The worker process: one shard host in the multi-process runtime.
+
+``worker_main`` is the spawn/fork entry point.  A worker boots by
+restoring its pickled :class:`~repro.runtime.snapshot.ShardSnapshot`
+into a private :class:`~repro.cluster.store.DistributedGraphStore`
+replica, announces itself with a ``Hello``, then serves batched mailbox
+requests until told to shut down (or its pipe closes).
+
+For an :class:`~repro.runtime.mailbox.ExecuteRequest` the worker runs,
+for every query in the batch, the search subtrees rooted at the depth-0
+seed candidates homed in its *owned partitions* -- the per-partition
+fan-out seam :meth:`~repro.cluster.executor.DistributedQueryExecutor.execute_partial`
+exposes.  Ownership is derived locally from the shared snapshot, so the
+workers' seed sets partition the serial executor's seed list exactly:
+summing their ledgers and unioning their answer sets reproduces a
+serial execution bit for bit.
+
+A request that raises is answered with an ``ErrorResponse`` carrying the
+traceback; the worker stays alive for the next request.  Only a
+``Shutdown`` message or a broken pipe ends the loop.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from multiprocessing.connection import Connection
+
+from repro.cluster.executor import DistributedQueryExecutor
+from repro.cluster.store import DistributedGraphStore
+from repro.runtime.mailbox import (
+    ErrorResponse,
+    ExecuteRequest,
+    ExecuteResponse,
+    Hello,
+    PartialResult,
+    RefreshRequest,
+    RefreshResponse,
+    Shutdown,
+)
+from repro.runtime.snapshot import ShardSnapshot
+
+
+def execute_request(
+    store: DistributedGraphStore,
+    owned: frozenset[int],
+    request: ExecuteRequest,
+    worker_id: int,
+) -> ExecuteResponse:
+    """Run one batched request against ``store``, owning ``owned`` shards.
+
+    Pure function of its inputs (given a deterministic store), factored
+    out of the process loop so tests can drive it in-process.
+    ``cpu_seconds`` is process CPU time, not wall time: on a machine
+    with fewer cores than workers the wall clock interleaves worker
+    timeslices, while CPU time still measures each worker's own share of
+    the work (what the scaling experiment's makespan is built from).
+    """
+    executor = DistributedQueryExecutor(
+        store, track_edges=request.track_edges
+    )
+    partition_of = store.partition_of
+    began = time.process_time()
+    results = []
+    for payload in request.queries:
+        query = payload.to_query()
+        seeds = [
+            seed
+            for seed in executor.seed_candidates(query.graph)
+            if partition_of(seed) in owned
+        ]
+        answers, ledger = executor.execute_partial(query, seeds)
+        results.append(
+            PartialResult(
+                local=ledger.local,
+                remote=ledger.remote,
+                answers=tuple(answers),
+                edge_counts=(
+                    tuple(sorted(ledger.edge_counts.items(), key=repr))
+                    if request.track_edges
+                    else None
+                ),
+            )
+        )
+    return ExecuteResponse(
+        request_id=request.request_id,
+        worker_id=worker_id,
+        results=tuple(results),
+        cpu_seconds=time.process_time() - began,
+    )
+
+
+def worker_main(
+    worker_id: int,
+    connection: Connection,
+    snapshot: ShardSnapshot,
+    partitions: tuple[int, ...],
+) -> None:
+    """Process entry point: restore the shard, serve the mailbox."""
+    began = time.perf_counter()
+    store = snapshot.restore()
+    owned = frozenset(partitions)
+    try:
+        connection.send(
+            Hello(worker_id, partitions, time.perf_counter() - began)
+        )
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            if isinstance(message, Shutdown):
+                break
+            try:
+                if isinstance(message, RefreshRequest):
+                    began = time.perf_counter()
+                    store = DistributedGraphStore.import_state(message.state)
+                    connection.send(
+                        RefreshResponse(
+                            worker_id, time.perf_counter() - began
+                        )
+                    )
+                elif isinstance(message, ExecuteRequest):
+                    connection.send(
+                        execute_request(store, owned, message, worker_id)
+                    )
+                else:
+                    connection.send(
+                        ErrorResponse(
+                            worker_id, f"unknown message {type(message)!r}"
+                        )
+                    )
+            except Exception:
+                connection.send(
+                    ErrorResponse(worker_id, traceback.format_exc())
+                )
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+        pass
+    finally:
+        connection.close()

@@ -64,3 +64,57 @@ class TestRoundTrip:
         config = ClusterConfig(local_cost=2.0, remote_cost=50.0)
         model = config.latency_model()
         assert model.cost(1, 1) == 52.0
+
+
+class TestWorkerConfig:
+    def test_defaults_are_serial(self):
+        from repro.api import WorkerConfig
+
+        config = ClusterConfig()
+        assert config.worker == WorkerConfig()
+        assert config.worker.count == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": 0},
+            {"start_method": "teleport"},
+            {"request_timeout": 0.0},
+        ],
+    )
+    def test_bad_worker_values_rejected(self, kwargs):
+        from repro.api import WorkerConfig
+
+        with pytest.raises(ConfigurationError):
+            WorkerConfig(**kwargs)
+
+    def test_round_trips_through_cluster_config(self):
+        from repro.api import WorkerConfig
+
+        config = ClusterConfig(
+            partitions=8,
+            worker=WorkerConfig(count=4, start_method="fork",
+                                request_timeout=5.0, fallback_serial=False),
+        )
+        payload = config.as_dict()
+        assert payload["worker"] == {
+            "count": 4,
+            "start_method": "fork",
+            "request_timeout": 5.0,
+            "fallback_serial": False,
+        }
+        rebuilt = ClusterConfig.from_dict(payload)
+        assert rebuilt == config
+        assert isinstance(rebuilt.worker, WorkerConfig)
+
+    def test_dict_spelling_coerced(self):
+        config = ClusterConfig(worker={"count": 2})
+        assert config.worker.count == 2
+
+    def test_unknown_worker_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown worker"):
+            ClusterConfig(worker={"count": 2, "threads": 8})
+
+    def test_non_config_worker_rejected(self):
+        with pytest.raises(ConfigurationError, match="WorkerConfig"):
+            ClusterConfig(worker=4)

@@ -1,6 +1,6 @@
 """Schema tests: every experiment produces well-formed tables in fast mode.
 
-These run all seventeen experiments end to end (small grids), asserting the
+These run all eighteen experiments end to end (small grids), asserting the
 table schemas the benchmarks and EXPERIMENTS.md rely on.  They double as
 integration smoke tests of the full pipeline behind each experiment.
 """
@@ -38,6 +38,12 @@ EXPECTED_COLUMNS = {
          "retracted_matches", "evicted_matches", "survivors", "state_ok"],
         ["delete_fraction", "candidates", "moved", "cut_before", "cut_after"],
     ],
+    "E14": [
+        ["graph_vertices", "graph_edges", "executions", "seconds",
+         "queries_per_second"],
+        ["workers", "wall_seconds", "makespan_seconds",
+         "queries_per_second", "speedup", "identical"],
+    ],
     "A1": [["resignature_fix", "regrown_matches", "groups", "cut",
             "p_remote"]],
     "A2": [["group_matches", "groups", "cut", "p_remote"]],
@@ -65,7 +71,7 @@ def test_experiment_schema(experiment_id):
 @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
 def test_experiment_deterministic(experiment_id):
     """Same seed, same tables -- the reproducibility contract."""
-    if experiment_id in ("E9",):  # throughput rows contain wall-clock rates
+    if experiment_id in ("E9", "E14"):  # wall-clock rates / speedups
         pytest.skip("timing-based table")
     first = run_experiment(experiment_id, seed=3, fast=True)
     second = run_experiment(experiment_id, seed=3, fast=True)

@@ -1,11 +1,19 @@
-"""The BENCH baseline diff (perf trajectory across PRs)."""
+"""The BENCH baseline diff (perf trajectory across PRs) and the nightly
+bench-trend regression gate."""
 
 import pytest
 
-from repro.bench.runner import SCHEMA, diff_bench, load_bench_json, write_bench_json
+from repro.bench.runner import (
+    SCHEMA,
+    diff_bench,
+    headline_speedups,
+    load_bench_json,
+    speedup_regressions,
+    write_bench_json,
+)
 
 
-def payload(seconds_by_id, hotpath=None):
+def payload(seconds_by_id, hotpath=None, scaling=None):
     out = {
         "schema": SCHEMA,
         "experiments": {
@@ -15,6 +23,8 @@ def payload(seconds_by_id, hotpath=None):
     }
     if hotpath is not None:
         out["hotpath"] = hotpath
+    if scaling is not None:
+        out["scaling"] = {"speedups": scaling}
     return out
 
 
@@ -30,6 +40,55 @@ def test_diff_reports_delta_and_ratio():
 def test_diff_handles_missing_baseline_experiment():
     lines = diff_bench(payload({"E9": 0.1}), payload({}))
     assert lines == ["E9      0.100s (no baseline)"]
+
+
+def test_headline_speedups_take_top_of_scaling_curve():
+    speedups = headline_speedups(
+        payload(
+            {},
+            hotpath={"loom_speedup": 1.5, "ldg_speedup": 1.6},
+            scaling={
+                "scaling_2w_speedup": 1.7,
+                "scaling_4w_speedup": 2.9,
+                "scaling_1w_speedup": 0.9,
+            },
+        )
+    )
+    # Hot-path numbers pass through; only the largest worker count of
+    # the scaling curve is a gated headline (intermediate points are
+    # too noisy on shared runners).
+    assert speedups == {
+        "loom_speedup": 1.5,
+        "ldg_speedup": 1.6,
+        "scaling_4w_speedup": 2.9,
+    }
+
+
+class TestSpeedupRegressions:
+    def test_clean_when_within_floor(self):
+        current = payload({}, hotpath={"loom_speedup": 1.4})
+        baseline = payload({}, hotpath={"loom_speedup": 1.5})
+        assert speedup_regressions(current, baseline, floor=0.9) == []
+
+    def test_fails_below_floor(self):
+        current = payload(
+            {},
+            hotpath={"loom_speedup": 1.0},
+            scaling={"scaling_4w_speedup": 2.0},
+        )
+        baseline = payload(
+            {},
+            hotpath={"loom_speedup": 1.5},
+            scaling={"scaling_4w_speedup": 2.1},
+        )
+        failures = speedup_regressions(current, baseline, floor=0.9)
+        assert len(failures) == 1
+        assert "loom_speedup" in failures[0]
+
+    def test_new_headline_does_not_fail_first_run(self):
+        current = payload({}, scaling={"scaling_4w_speedup": 2.0})
+        baseline = payload({}, hotpath={"loom_speedup": 1.5})
+        assert speedup_regressions(current, baseline) == []
 
 
 def test_round_trip_and_schema_check(tmp_path):

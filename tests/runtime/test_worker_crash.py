@@ -1,0 +1,154 @@
+"""Worker death must degrade, never hang: the kill-the-worker tests."""
+
+import random
+
+import pytest
+
+from repro.api import Cluster, ClusterConfig, WorkerConfig
+from repro.bench.experiments import _motif_testbed
+from repro.bench.scaling import default_start_method
+from repro.cluster.executor import run_workload
+from repro.runtime import (
+    ShardSnapshot,
+    ShardedExecutor,
+    WorkerCrashError,
+    WorkerPool,
+    run_sharded_workload,
+)
+
+START = default_start_method()
+
+
+@pytest.fixture()
+def placed():
+    graph, workload = _motif_testbed(5, instances=10, noise=30)
+    session = Cluster.open(
+        ClusterConfig(partitions=4, method="ldg", seed=5), workload=workload
+    )
+    session.ingest(graph)
+    return session, workload
+
+
+def kill_one(pool):
+    victim = pool.handles[0].process
+    victim.kill()
+    victim.join(timeout=5.0)
+    assert not victim.is_alive()
+
+
+class TestCrashFallback:
+    def test_fallback_serial_with_warning(self, placed):
+        """A killed worker turns the fan-out into a warned in-process
+        run with identical results -- not a hang on a dead mailbox."""
+        session, workload = placed
+        reference = run_workload(
+            session.store, workload, executions=15, rng=random.Random(2)
+        )
+        snapshot = ShardSnapshot.of(session.store)
+        with WorkerPool(
+            snapshot, workers=2, start_method=START, timeout=30.0
+        ) as pool:
+            kill_one(pool)
+            with pytest.warns(RuntimeWarning, match="degraded"):
+                stats, fanout = run_sharded_workload(
+                    session.store,
+                    workload,
+                    pool,
+                    executions=15,
+                    rng=random.Random(2),
+                    fallback=True,
+                )
+        assert fanout.fallback_used
+        assert stats.matches == reference.matches
+        assert stats.ledger.local == reference.ledger.local
+        assert stats.ledger.remote == reference.ledger.remote
+
+    def test_fallback_disabled_raises(self, placed):
+        session, workload = placed
+        snapshot = ShardSnapshot.of(session.store)
+        with WorkerPool(
+            snapshot, workers=2, start_method=START, timeout=30.0
+        ) as pool:
+            kill_one(pool)
+            executor = ShardedExecutor(
+                session.store, pool, fallback=False
+            )
+            with pytest.raises(WorkerCrashError):
+                executor.execute(next(iter(workload)))
+
+    def test_timeout_poisons_pool_closed_then_respawned(self, placed):
+        """A round trip that times out while the workers are still alive
+        leaves undrained responses in the pipes.  The pool must close
+        itself (never serve stale responses), the call must degrade with
+        a warning, and the next call -- even after a store mutation that
+        forces a re-prime -- must respawn and run parallel again without
+        raising, fallback or not."""
+        session, workload = placed
+        graph = session.graph
+        config = ClusterConfig(
+            partitions=4,
+            method="ldg",
+            seed=5,
+            worker=WorkerConfig(count=2, start_method=START),
+        )
+        with Cluster.open(config, workload=workload) as parallel_session:
+            parallel_session.ingest(graph)
+            serial = parallel_session.run_workload(
+                executions=15, seed=3, workers=1
+            )
+            poisoned = parallel_session.pool
+
+            # Deterministically simulate a worker that is alive but
+            # silent past the deadline (a real tiny timeout races with
+            # fast workers): its response stays undrained in the pipe.
+            def silent_recv(timeout):
+                from repro.runtime.mailbox import MailboxTimeoutError
+
+                raise MailboxTimeoutError("simulated silent worker")
+
+            poisoned.handles[0].mailbox.recv = silent_recv
+            with pytest.warns(RuntimeWarning, match="degraded"):
+                degraded = parallel_session.run_workload(
+                    executions=15, seed=3
+                )
+            assert degraded == serial
+            assert not poisoned.alive  # closed, not left poisoned
+            # Store mutation forces a re-prime on the next parallel call;
+            # the dead pool is replaced, not refreshed.
+            parallel_session.replicate(executions=5, budget=2, seed=1)
+            serial_after = parallel_session.run_workload(
+                executions=15, seed=3, workers=1
+            )
+            recovered = parallel_session.run_workload(
+                executions=15, seed=3
+            )
+            assert recovered == serial_after
+            assert parallel_session.pool is not poisoned
+            assert parallel_session.pool.alive
+
+    def test_session_self_heals_after_worker_death(self, placed):
+        """Through the façade: a worker killed between calls is noticed
+        at dispatch time -- the session respawns a healthy pool and the
+        next parallel call completes with serial-identical results (no
+        hang, no stale mailbox)."""
+        session, workload = placed
+        graph = session.graph
+        config = ClusterConfig(
+            partitions=4,
+            method="ldg",
+            seed=5,
+            worker=WorkerConfig(count=2, start_method=START),
+        )
+        with Cluster.open(config, workload=workload) as parallel_session:
+            parallel_session.ingest(graph)
+            serial = parallel_session.run_workload(
+                executions=15, seed=3, workers=1
+            )
+            healthy = parallel_session.run_workload(executions=15, seed=3)
+            assert healthy == serial
+            dead_pool = parallel_session.pool
+            kill_one(dead_pool)
+            recovered = parallel_session.run_workload(executions=15, seed=3)
+            assert recovered == serial
+            assert parallel_session.pool is not dead_pool
+            assert parallel_session.pool.alive

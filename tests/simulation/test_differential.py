@@ -200,6 +200,45 @@ class TestDifferentialChurn:
         session.ingest(doubled)
         assert session.graph == survivors
 
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("method", ["loom", "ldg"])
+    def test_parallel_queries_match_serial_after_churn(self, seed, method):
+        """The ``workers=2`` variant: after a churned ingest (slot
+        recycling, retractions, re-adds) the sharded multi-process
+        runtime must answer the sampled workload identically to the
+        in-process executor, field for field."""
+        from repro.api import WorkerConfig
+        from repro.bench.scaling import default_start_method
+
+        events = generate_events(seed + 5000)
+        session = Cluster.open(
+            ClusterConfig(
+                partitions=3,
+                method=method,
+                window_size=7,
+                motif_threshold=0.5,
+                batch_size=16,
+                seed=seed,
+                worker=WorkerConfig(
+                    count=2,
+                    start_method=default_start_method(),
+                    fallback_serial=False,
+                ),
+            ),
+            workload=churny_workload(),
+        )
+        try:
+            session.ingest(events, workers=1)
+            serial = session.run_workload(executions=25, seed=9, workers=1)
+            parallel = session.run_workload(executions=25, seed=9)
+            assert parallel == serial
+            for query in churny_workload():
+                assert session.query(query, workers=2) == session.query(
+                    query, workers=1
+                )
+        finally:
+            session.close()
+
     @pytest.mark.parametrize("seed", range(8))
     def test_matcher_state_dies_with_the_stream(self, seed):
         """After a churned ingest the matcher tracks no match touching a
