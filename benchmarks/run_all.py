@@ -4,11 +4,11 @@
 Equivalent to ``loom-repro bench``.  Times every experiment the
 ``bench_*`` pytest files wrap (fast mode by default, like the pytest
 suite) plus the engine hot-path microbenchmark, then writes
-``BENCH_PR5.json``::
+``BENCH_PR6.json``::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR5.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR6.json]
                                                 [--seed 0] [--full]
-                                                [--baseline BENCH_PR4.json]
+                                                [--baseline BENCH_PR5.json]
 
 ``--baseline`` prints per-experiment wall-time deltas against a prior
 BENCH file (same ``loom-repro/bench/v1`` schema), making the perf
@@ -33,7 +33,7 @@ from repro.bench.runner import (  # noqa: E402
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR5.json")
+    parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--full", action="store_true",
@@ -48,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the sharded-runtime scaling measurement",
     )
     parser.add_argument(
+        "--no-refresh", action="store_true",
+        help="skip the delta-vs-full refresh measurement",
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="BENCH_JSON",
         help="prior BENCH file to print per-experiment deltas against",
     )
@@ -57,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         fast=not args.full,
         hotpath=not args.no_hotpath,
         scaling=not args.no_scaling,
+        refresh=not args.no_refresh,
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
@@ -75,6 +80,14 @@ def main(argv: list[str] | None = None) -> int:
             + " ".join(
                 f"{key.split('_')[1]}={value}x"
                 for key, value in sorted(speedups.items())
+            )
+        )
+    if "refresh" in payload:
+        speedups = payload["refresh"]["speedups"]
+        print(
+            "refresh speedups (delta vs full): "
+            + " ".join(
+                f"{key}={value}x" for key, value in sorted(speedups.items())
             )
         )
     if args.baseline:

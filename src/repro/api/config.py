@@ -24,6 +24,9 @@ from repro.engine.registry import default_registry
 from repro.exceptions import ConfigurationError
 from repro.stream.orderings import ORDERINGS
 
+#: How the session keeps the worker pool's shard replicas current.
+REFRESH_MODES = ("delta", "full")
+
 
 @dataclass(frozen=True, slots=True)
 class WorkerConfig:
@@ -50,12 +53,35 @@ class WorkerConfig:
         in-process serial execution with a ``RuntimeWarning`` instead of
         raising -- same results, no parallelism.  When False the
         :class:`~repro.runtime.pool.WorkerCrashError` propagates.
+    ``refresh_mode``
+        How stale workers are re-primed after a store mutation.
+        ``"delta"`` (default) journals mutations on the coordinator's
+        store and ships only the compact op log for workers to replay in
+        place -- O(changes); a full snapshot remains the fallback for
+        first boot, journal overflow (> ``max_delta_events`` ops) and
+        version gaps.  ``"full"`` always rebroadcasts the whole
+        columnar snapshot (the pre-delta behaviour).
+    ``shared_memory``
+        When True (default), full snapshots are published once into a
+        ``multiprocessing.shared_memory`` segment and workers decode
+        their replicas from a shared ``memoryview`` instead of each
+        unpickling a private copy of the payload.  Segments are unlinked
+        as soon as every worker confirms its decode, and on every pool
+        teardown path.  Platforms without usable shared memory degrade
+        to inline payloads automatically.
+    ``max_delta_events``
+        Journal capacity: mutations beyond this between two refreshes
+        overflow the journal and force a full-snapshot refresh (a delta
+        bigger than the graph defeats its purpose).
     """
 
     count: int = 1
     start_method: str = "spawn"
     request_timeout: float = 60.0
     fallback_serial: bool = True
+    refresh_mode: str = "delta"
+    shared_memory: bool = True
+    max_delta_events: int = 8192
 
     def __post_init__(self) -> None:
         from repro.runtime.pool import START_METHODS
@@ -69,6 +95,13 @@ class WorkerConfig:
             )
         if not self.request_timeout > 0:
             raise ConfigurationError("request_timeout must be positive")
+        if self.refresh_mode not in REFRESH_MODES:
+            raise ConfigurationError(
+                f"unknown refresh mode {self.refresh_mode!r}; choose from "
+                f"{REFRESH_MODES}"
+            )
+        if self.max_delta_events < 1:
+            raise ConfigurationError("max_delta_events must be >= 1")
 
     def as_dict(self) -> dict[str, Any]:
         return asdict(self)

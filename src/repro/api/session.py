@@ -208,11 +208,11 @@ class Session:
         self._partitioner = None
         self._engine_stats = EngineStats(batch_size=config.batch_size)
         self._latency = config.latency_model()
-        # Sharded runtime state: the pool mirrors the store as of
-        # ``_store_version``; any mutation bumps the version and the
-        # next parallel call re-primes stale workers.
+        # Sharded runtime state: the pool mirrors the store as of the
+        # store's own mutation-tick version; any *effective* mutation
+        # ticks it and the next parallel call re-primes stale workers
+        # (by delta replay when the journal covers the gap).
         self._pool = None
-        self._store_version = 0
 
     # ------------------------------------------------------------------
     # State access
@@ -279,16 +279,52 @@ class Session:
             raise SessionError("workers must be >= 1 (or None)")
         return workers
 
-    def _bump_store_version(self) -> None:
-        self._store_version += 1
+    @property
+    def _store_version(self) -> int:
+        """The store's mutation-tick version (0 before first ingest).
+
+        No-op operations (an ingest of zero events, a failed retract, a
+        same-label re-add) do not tick, so they never trigger a worker
+        refresh broadcast.
+        """
+        return 0 if self._store is None else self._store.mutation_ticks
+
+    def _pending_delta(self, pool):
+        """The journalled mutation log bridging ``pool.version`` to the
+        store's current version, or ``None`` when only a full snapshot
+        can close the gap (delta mode off, journal overflow, wholesale
+        assignment adoption, or a version mismatch)."""
+        from repro.runtime.mailbox import DeltaRefresh
+
+        store = self.store
+        if self.config.worker.refresh_mode != "delta":
+            return None
+        if not store.journal_enabled:
+            return None
+        ops = store.drain_journal()
+        if ops is None:
+            return None
+        if pool.version + len(ops) != store.mutation_ticks:
+            # The journal does not line up with the pool's primed
+            # version (e.g. the pool outlived a journal restart); a
+            # replay would corrupt the replicas.
+            return None
+        return DeltaRefresh(
+            from_version=pool.version,
+            to_version=store.mutation_ticks,
+            capacity=store.assignment.capacity,
+            ops=ops,
+        )
 
     def _ensure_pool(self, workers: int):
         """A primed pool of ``workers`` processes mirroring the store.
 
-        Reuses the live pool when the size matches, re-broadcasting the
-        shard snapshot only if the resident state changed since it was
-        primed; a size change, a dead pool, or a failed refresh (which
-        closes the pool) respawns from scratch.
+        Reuses the live pool when the size matches; when the resident
+        state changed since it was primed, the workers replay the
+        store's journalled mutation delta in place (O(changes)), falling
+        back to a full columnar snapshot broadcast when no valid delta
+        covers the gap.  A size change, a dead pool, or a failed refresh
+        (which closes the pool) respawns from scratch.
         """
         from repro.runtime.pool import WorkerCrashError, WorkerPool
         from repro.runtime.snapshot import ShardSnapshot
@@ -302,12 +338,19 @@ class Session:
             pool.close()
             pool = self._pool = None
         if pool is not None and pool.version != self._store_version:
+            delta = self._pending_delta(pool)
             try:
-                pool.refresh(
-                    ShardSnapshot.of(self.store, version=self._store_version)
-                )
+                if delta is not None:
+                    pool.refresh_delta(delta)
+                else:
+                    pool.refresh(
+                        ShardSnapshot.of(
+                            self.store, version=self._store_version
+                        )
+                    )
+                self.store.restart_journal()
             except WorkerCrashError:
-                # refresh() closed the pool; fall through to a respawn
+                # refresh closed the pool; fall through to a respawn
                 # (spawn failures propagate to the caller's policy).
                 pool = self._pool = None
         if pool is None:
@@ -319,8 +362,13 @@ class Session:
                 workers=requested,
                 start_method=worker.start_method,
                 timeout=worker.request_timeout,
+                shared_memory=worker.shared_memory,
             )
             self._pool = pool
+            # The pool now mirrors the store exactly: start (or restart)
+            # the journal so the next refresh can ship a delta.
+            if worker.refresh_mode == "delta":
+                self.store.enable_journal(worker.max_delta_events)
         return pool
 
     def _pool_or_fallback(self, workers: int):
@@ -459,7 +507,6 @@ class Session:
             )
             engine.run(events)
             self._engine_stats.merge(engine.stats)
-        self._bump_store_version()
         effective_workers = self._resolve_workers(workers)
         # Reported count is the *actual* pool size (the pool caps at
         # config.partitions, and provisioning may degrade to serial).
@@ -636,8 +683,11 @@ class Session:
         partitioner.assignment.on_assign = store.assign_vertex
         # Churn mirror: retractions replay into the store's assignment in
         # the partitioner's own processing order, exactly like placements
-        # (the graph side of a removal rides the batch event hook).
-        partitioner.assignment.on_remove = store.assignment.discard
+        # (the graph side of a removal rides the batch event hook).  The
+        # store-level hook keeps the mutation journal exact: every
+        # assignment retraction the coordinator sees is an op the worker
+        # replicas replay in the same order.
+        partitioner.assignment.on_remove = store.retract_assignment
         self._partitioner = partitioner
         return partitioner, premirrored
 
@@ -683,9 +733,11 @@ class Session:
         assignment = self._spec.build(request)
         if had_residents:
             # Offline re-ingest re-partitions the whole resident graph:
-            # adopt the fresh assignment outright, and drop replicas --
-            # they were provisioned under the discarded placement.
-            store.assignment = assignment
+            # adopt the fresh assignment outright (ticks the version and
+            # invalidates the delta journal -- the swap has no op form),
+            # and drop replicas -- they were provisioned under the
+            # discarded placement.
+            store.adopt_assignment(assignment)
             store.clear_replicas()
         else:
             for vertex, partition in assignment.assigned().items():
@@ -909,7 +961,10 @@ class Session:
         self._store = fresh._store
         self._engine_stats = fresh._engine_stats
         self._latency = fresh._latency
-        self._bump_store_version()
+        # The adopted store is a different object whose mutation ticks
+        # could coincidentally equal the old pool's primed version; the
+        # pool must not survive the swap.
+        self.close()
         return dataclasses.replace(
             before,
             moved_vertices=moved,
@@ -976,7 +1031,6 @@ class Session:
             # Offline/restored session without a live streaming
             # partitioner: the store is the only state to unwind.
             self._mirror_batch(events)
-        self._bump_store_version()
         total_edges_gone = edges_before - graph.num_edges
         return RetractReport(
             vertices_removed=len(unique_vertices),
@@ -1043,7 +1097,6 @@ class Session:
             if mirror is not None:
                 mirror.move(vertex, target)
             moved += 1
-        self._bump_store_version()
         return RebalanceReport(
             total_vertices=graph.num_vertices,
             candidates=len(candidates),
@@ -1116,9 +1169,10 @@ class Session:
         )
         sampler = rng or self._derived_rng(REPLICATION_SEED_OFFSET, seed)
         report = replicator.run(target, executions=executions, rng=sampler)
-        # Replicas change locality answers: stale worker replicas would
-        # over-count remote traversals, so the next fan-out re-primes.
-        self._bump_store_version()
+        # Replicas change locality answers (the store ticks per added
+        # copy): stale worker replicas would over-count remote
+        # traversals, so the next fan-out re-primes -- by delta replay
+        # of the journalled ``r+`` ops in the common case.
         return report
 
     # ------------------------------------------------------------------

@@ -833,6 +833,65 @@ def experiment_e14(seed: int = 0, fast: bool = False) -> list[Table]:
 
 
 # ----------------------------------------------------------------------
+# E15 -- delta refresh vs full-snapshot republication
+# ----------------------------------------------------------------------
+def experiment_e15(seed: int = 0, fast: bool = False) -> list[Table]:
+    """Refresh latency and payload bytes vs mutation size, delta vs full.
+
+    Beyond the paper: once shard replicas are resident in worker
+    processes (E14's runtime), keeping them current after coordinator
+    mutations becomes the hot path.  This experiment mutates ``m`` edges
+    of the E14 testbed (remove + re-add: state nets out identical, the
+    store version advances) and re-syncs a resident 2-worker pool two
+    ways -- shipping the journalled op delta for in-place replay vs
+    re-encoding and republishing the full columnar snapshot through
+    shared memory.  The shape that must reproduce: in the small-mutation
+    regime (``<= 1%`` of edges) delta refresh is an order of magnitude
+    faster and ships ~100x fewer bytes; as the mutation count approaches
+    the graph size the advantage decays until full republication wins --
+    which is exactly why journal overflow falls back to a full snapshot.
+    Both modes leave workers byte-identical to the coordinator (the
+    differential suite pins that); this table is about latency and bytes.
+    """
+    from repro.bench.refresh import run_refresh_benchmark
+
+    result = run_refresh_benchmark(
+        seed=seed,
+        mutation_sizes=(2, 64) if fast else (2, 8, 64, 256),
+        repeats=5 if fast else 15,
+    )
+    baseline = Table(
+        "E15a: resident pool and full-snapshot baseline (ldg, k=8)",
+        ["graph_vertices", "graph_edges", "workers", "start_method",
+         "snapshot_bytes"],
+    )
+    baseline.add_row(
+        graph_vertices=result.graph_vertices,
+        graph_edges=result.graph_edges,
+        workers=result.workers,
+        start_method=result.start_method,
+        snapshot_bytes=result.snapshot_bytes,
+    )
+    sweep = Table(
+        "E15b: refresh latency vs mutation size (delta vs full snapshot)",
+        ["mutations", "mutated_fraction", "delta_bytes", "full_bytes",
+         "bytes_ratio", "delta_ms", "full_ms", "speedup"],
+    )
+    for point in result.points:
+        sweep.add_row(
+            mutations=point.mutations,
+            mutated_fraction=round(point.mutated_fraction, 4),
+            delta_bytes=point.delta_bytes,
+            full_bytes=point.full_bytes,
+            bytes_ratio=round(point.bytes_ratio, 1),
+            delta_ms=round(point.delta_seconds * 1e3, 3),
+            full_ms=round(point.full_seconds * 1e3, 3),
+            speedup=round(point.speedup, 2),
+        )
+    return [baseline, sweep]
+
+
+# ----------------------------------------------------------------------
 # A1 -- ablation: the section-4.3 re-signature fix
 # ----------------------------------------------------------------------
 def experiment_a1(seed: int = 0, fast: bool = False) -> list[Table]:
@@ -1095,6 +1154,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("E12", "Hotspot replication complementarity", experiment_e12),
         Experiment("E13", "Dynamic-graph churn: deletions & rebalancing", experiment_e13),
         Experiment("E14", "Sharded multi-process query scaling", experiment_e14),
+        Experiment("E15", "Delta refresh vs full-snapshot republication", experiment_e15),
         Experiment("A1", "Ablation: section-4.3 re-signature fix", experiment_a1),
         Experiment("A2", "Ablation: motif-group assignment", experiment_a2),
         Experiment("A3", "Ablation: TPSTry++ DAG vs path-only TPSTry", experiment_a3),
@@ -1106,7 +1166,7 @@ EXPERIMENTS: dict[str, Experiment] = {
 def run_experiment(
     experiment_id: str, *, seed: int = 0, fast: bool = False
 ) -> list[Table]:
-    """Run one experiment by id (``E1`` ... ``E14``, ``A1`` ... ``A4``)."""
+    """Run one experiment by id (``E1`` ... ``E15``, ``A1`` ... ``A4``)."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(

@@ -32,6 +32,7 @@ def run_bench_suite(
     hotpath: bool = True,
     hotpath_repeats: int = 3,
     scaling: bool = True,
+    refresh: bool = True,
 ) -> dict[str, Any]:
     """Time every experiment (and the hot-path microbenchmark) once.
 
@@ -40,7 +41,10 @@ def run_bench_suite(
     for those).  ``scaling=True`` additionally runs the sharded-runtime
     scaling measurement (E14's engine, at BENCH-stable sizes) and embeds
     its worker-count curve -- the ``scaling_*w_speedup`` numbers the
-    bench-trend CI gate watches.
+    bench-trend CI gate watches.  ``refresh=True`` likewise embeds the
+    delta-vs-full refresh measurement (E15's engine, always at the
+    canonical E14 dataset size) whose ``refresh_delta_speedup`` headline
+    the same gate watches.
     """
     ids = experiments or tuple(EXPERIMENTS)
     payload: dict[str, Any] = {
@@ -70,6 +74,11 @@ def run_bench_suite(
             seed=seed, worker_counts=(1, 2, 4), executions=100
         )
         payload["scaling"] = curve.as_dict()
+    if refresh:
+        from repro.bench.refresh import run_refresh_benchmark
+
+        sweep = run_refresh_benchmark(seed=seed)
+        payload["refresh"] = sweep.as_dict()
     return payload
 
 
@@ -129,6 +138,8 @@ def diff_bench(
     for key in sorted(set(mine) & set(base)):
         if key.startswith("scaling_"):
             lines.append(f"scaling {key}: {mine[key]}x vs {base[key]}x")
+        elif key.startswith("refresh_"):
+            lines.append(f"refresh {key}: {mine[key]}x vs {base[key]}x")
     return lines
 
 
@@ -142,7 +153,12 @@ def headline_speedups(payload: dict[str, Any]) -> dict[str, float]:
     in the payload but not gated on: with more worker processes than
     free runner cores their run-to-run variance would make a trend gate
     cry wolf, while the top-of-curve point is what the scaling claim is.
-    These are the numbers the nightly bench-trend workflow gates on.
+    The refresh sweep contributes ``refresh_delta_speedup`` (delta vs
+    full at the *smallest* mutation size -- the regime delta refresh
+    exists for; larger mutation sizes decay toward full-snapshot parity
+    by design, so gating on them would test the fallback, not the
+    feature).  These are the numbers the nightly bench-trend workflow
+    gates on.
     """
     speedups: dict[str, float] = {}
     hotpath = payload.get("hotpath") or {}
@@ -163,6 +179,10 @@ def headline_speedups(payload: dict[str, Any]) -> dict[str, float]:
 
         top = max(curve, key=worker_count)
         speedups[top] = curve[top]
+    refresh = payload.get("refresh") or {}
+    value = (refresh.get("speedups") or {}).get("refresh_delta_speedup")
+    if isinstance(value, (int, float)):
+        speedups["refresh_delta_speedup"] = float(value)
     return speedups
 
 

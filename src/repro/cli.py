@@ -10,8 +10,8 @@
     loom-repro partition --graph g.txt --method loom -k 4 --workers 4 --json
     loom-repro retract --snapshot c.json --vertex 7 --edge 1 2 --out c2.json
     loom-repro rebalance --snapshot c.json --max-moves 20 --out c2.json
-    loom-repro bench --out BENCH_PR5.json --baseline BENCH_PR4.json
-    loom-repro bench --baseline BENCH_PR5.json --fail-below 0.9
+    loom-repro bench --out BENCH_PR6.json --baseline BENCH_PR5.json
+    loom-repro bench --baseline BENCH_PR6.json --fail-below 0.9
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -306,6 +306,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fast=not args.full,
         hotpath=not args.no_hotpath,
         scaling=not args.no_scaling,
+        refresh=not args.no_refresh,
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
@@ -406,13 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the benchmark suite, write machine-readable JSON"
     )
-    bench.add_argument("--out", default="BENCH_PR5.json")
+    bench.add_argument("--out", default="BENCH_PR6.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--full", action="store_true", help="full grids (slow)")
     bench.add_argument("--no-hotpath", action="store_true",
                        help="skip the engine hot-path microbenchmark")
     bench.add_argument("--no-scaling", action="store_true",
                        help="skip the sharded-runtime scaling measurement")
+    bench.add_argument("--no-refresh", action="store_true",
+                       help="skip the delta-vs-full refresh measurement")
     bench.add_argument("--baseline", default=None, metavar="BENCH_JSON",
                        help="prior BENCH file to print deltas against")
     bench.add_argument("--fail-below", type=float, default=None,

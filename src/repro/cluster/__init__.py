@@ -17,6 +17,14 @@ assumes with an in-process simulation:
 """
 
 from repro.cluster.store import DistributedGraphStore
+from repro.cluster.columnar import (
+    STORE_COLUMNS_SCHEMA,
+    ColumnsFormatError,
+    ColumnsHeader,
+    decode_columns,
+    encode_columns,
+    peek_header,
+)
 from repro.cluster.executor import (
     DistributedQueryExecutor,
     TraversalLedger,
@@ -26,10 +34,16 @@ from repro.cluster.executor import (
 from repro.cluster.latency import LatencyModel
 
 __all__ = [
+    "ColumnsFormatError",
+    "ColumnsHeader",
     "DistributedGraphStore",
     "DistributedQueryExecutor",
+    "STORE_COLUMNS_SCHEMA",
     "TraversalLedger",
     "WorkloadStats",
+    "decode_columns",
+    "encode_columns",
+    "peek_header",
     "run_workload",
     "LatencyModel",
 ]

@@ -9,7 +9,7 @@ mirroring the vertex-label indexes of property-graph databases.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator
 
 from repro.exceptions import PartitioningError
 from repro.graph.labelled import Label, LabelledGraph, Vertex
@@ -52,6 +52,19 @@ class DistributedGraphStore:
         self.graph = graph
         self.assignment = assignment
         self._replicas: dict[Vertex, set[int]] = {}
+        #: Monotone count of *effective* mutations (no-ops do not tick).
+        #: The session layer uses it as the store version the worker pool
+        #: mirrors, so an ingest of zero events or a same-label re-add
+        #: never triggers a refresh broadcast.
+        self._ticks = 0
+        # Mutation journal (delta-refresh support).  ``None`` = disabled:
+        # serial sessions pay nothing.  When enabled, every effective
+        # mutation appends one compact op tuple until the limit trips the
+        # overflow flag (then the journal empties and stays invalid until
+        # the next restart -- the reader falls back to a full snapshot).
+        self._journal: list[tuple] | None = None
+        self._journal_limit = 0
+        self._journal_overflow = False
 
     @classmethod
     def incremental(cls, k: int, capacity: int) -> "DistributedGraphStore":
@@ -71,24 +84,106 @@ class DistributedGraphStore:
         )
 
     # ------------------------------------------------------------------
+    # Mutation versioning and the delta journal
+    # ------------------------------------------------------------------
+    @property
+    def mutation_ticks(self) -> int:
+        """Monotone count of effective mutations (the store's version)."""
+        return self._ticks
+
+    def _mutated(self, *op: Any) -> None:
+        """Tick the version and journal one effective mutation."""
+        self._ticks += 1
+        journal = self._journal
+        if journal is None or self._journal_overflow:
+            return
+        if len(journal) >= self._journal_limit:
+            # Past the limit a delta would not be "compact" any more;
+            # empty the log (free the memory) and let the reader fall
+            # back to a full snapshot at the next publication.
+            journal.clear()
+            self._journal_overflow = True
+            return
+        journal.append(op)
+
+    def enable_journal(self, limit: int) -> None:
+        """Start journalling mutations (for delta refresh), keeping at
+        most ``limit`` ops before declaring overflow.  (Re)enabling
+        restarts the log."""
+        if limit < 1:
+            raise PartitioningError("journal limit must be >= 1")
+        self._journal_limit = limit
+        self._journal = []
+        self._journal_overflow = False
+
+    def disable_journal(self) -> None:
+        self._journal = None
+        self._journal_overflow = False
+
+    @property
+    def journal_enabled(self) -> bool:
+        return self._journal is not None
+
+    def restart_journal(self) -> None:
+        """Empty the journal after a publication: the resident state as
+        of now is what the readers hold, so the log starts over."""
+        if self._journal is not None:
+            self._journal.clear()
+            self._journal_overflow = False
+
+    def drain_journal(self) -> tuple[tuple, ...] | None:
+        """The ops since the last restart, or ``None`` when no valid
+        delta exists (journal disabled, overflowed, or invalidated by a
+        wholesale assignment adoption).  Does not restart the journal --
+        call :meth:`restart_journal` once the delta has been applied."""
+        if self._journal is None or self._journal_overflow:
+            return None
+        return tuple(self._journal)
+
+    # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
     def add_vertex(self, vertex: Vertex, label: Label) -> None:
-        """Record a newly arrived (not yet assigned) vertex."""
+        """Record a newly arrived (not yet assigned) vertex.
+
+        Re-adding a resident vertex with its existing label is a no-op
+        (and does not tick the version); a conflicting label raises.
+        """
+        if self.graph.has_vertex(vertex):
+            self.graph.add_vertex(vertex, label)  # validates the label
+            return
         self.graph.add_vertex(vertex, label)
+        self._mutated("v+", vertex, label)
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
-        """Record a newly arrived edge (both endpoints must be stored)."""
+        """Record a newly arrived edge (both endpoints must be stored).
+
+        Re-adding a resident edge is a no-op and does not tick.
+        """
+        if self.graph.has_edge(u, v):
+            return
         self.graph.add_edge(u, v)
+        self._mutated("e+", u, v)
 
     def assign_vertex(self, vertex: Vertex, partition: int) -> None:
         """Place a stored vertex into ``partition`` (once, capacity
         enforced by the underlying assignment)."""
         self.assignment.assign(vertex, partition)
+        self._mutated("a", vertex, partition)
+
+    def retract_assignment(self, vertex: Vertex) -> int | None:
+        """Drop ``vertex``'s partition slot only (the churn-mirror hook:
+        the graph side of the removal rides the batch event hook).
+        Returns the vacated partition, ``None`` if it had none."""
+        vacated = self.assignment.discard(vertex)
+        if vacated is not None:
+            self._mutated("p-", vertex)
+        return vacated
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Retract a stored edge (raises ``EdgeNotFoundError`` if absent)."""
         self.graph.remove_edge(u, v)
+        self._mutated("e-", u, v)
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Retract a stored vertex everywhere it is known: the graph
@@ -98,21 +193,38 @@ class DistributedGraphStore:
         self.graph.remove_vertex(vertex)
         self.assignment.discard(vertex)
         self._replicas.pop(vertex, None)
+        self._mutated("v-", vertex)
 
     def move_vertex(self, vertex: Vertex, partition: int) -> bool:
         """Migrate a stored vertex's primary copy to ``partition``
         (rebalancing).  Drops the replica the vertex may have had in its
         new home -- a primary copy supersedes it.  Returns True when a
-        now-redundant replica was dropped.
+        now-redundant replica was dropped.  Moving a vertex to its own
+        partition is a no-op (and does not tick).
         """
+        if self.assignment.partition_of(vertex) == partition:
+            return False
         self.assignment.move(vertex, partition)
+        dropped = False
         copies = self._replicas.get(vertex)
         if copies and partition in copies:
             copies.discard(partition)
             if not copies:
                 del self._replicas[vertex]
-            return True
-        return False
+            dropped = True
+        self._mutated("m", vertex, partition)
+        return dropped
+
+    def adopt_assignment(self, assignment: PartitionAssignment) -> None:
+        """Adopt a foreign finished assignment wholesale (offline
+        re-ingest).  Ticks once and *invalidates* the journal -- the swap
+        is not expressible as an op sequence, so the next publication
+        must ship a full snapshot."""
+        self.assignment = assignment
+        self._ticks += 1
+        if self._journal is not None:
+            self._journal.clear()
+            self._journal_overflow = True
 
     @property
     def is_complete(self) -> bool:
@@ -191,10 +303,23 @@ class DistributedGraphStore:
         if partition in copies:
             return False
         copies.add(partition)
+        self._mutated("r+", vertex, partition)
         return True
+
+    def adopt_replica(self, vertex: Vertex, partition: int) -> None:
+        """Install a replica entry verbatim (rebuild paths only: column
+        decode, state import).  No validation, no version tick."""
+        self._replicas.setdefault(vertex, set()).add(partition)
 
     def replicas_of(self, vertex: Vertex) -> frozenset[int]:
         return frozenset(self._replicas.get(vertex, ()))
+
+    def replica_items(self) -> Iterator[tuple[Vertex, frozenset[int]]]:
+        """Replica entries in deterministic (repr of vertex) order."""
+        for vertex, copies in sorted(
+            self._replicas.items(), key=lambda item: repr(item[0])
+        ):
+            yield vertex, frozenset(copies)
 
     def clear_replicas(self) -> int:
         """Drop every replica (returns how many placements were dropped).
@@ -206,6 +331,8 @@ class DistributedGraphStore:
         """
         dropped = self.total_replicas()
         self._replicas.clear()
+        if dropped:
+            self._mutated("r0")
         return dropped
 
     def total_replicas(self) -> int:
@@ -282,6 +409,27 @@ class DistributedGraphStore:
         for vertex, copies in state["replicas"]:
             store._replicas[vertex] = set(copies)
         return store
+
+    def export_columns(self) -> bytes:
+        """The store as one contiguous columnar image -- the runtime's
+        hot-path wire format (see :mod:`repro.cluster.columnar` for the
+        binary layout).  Position-encoded like :meth:`export_state`, so
+        two stores with identical resident state but different internal
+        slot histories export identical bytes."""
+        from repro.cluster.columnar import encode_columns
+
+        return encode_columns(self)
+
+    @classmethod
+    def import_columns(
+        cls, buffer: bytes | memoryview
+    ) -> "DistributedGraphStore":
+        """Rebuild a store from an :meth:`export_columns` image.  Accepts
+        a ``memoryview`` (e.g. over a shared-memory segment) and decodes
+        without an intermediate copy of the buffer."""
+        from repro.cluster.columnar import decode_columns
+
+        return decode_columns(buffer)
 
     def shard_sizes(self) -> list[int]:
         return self.assignment.sizes()

@@ -34,6 +34,7 @@ from repro.runtime.executor import (
     run_sharded_workload,
 )
 from repro.runtime.mailbox import (
+    DeltaRefresh,
     MailboxClosedError,
     MailboxTimeoutError,
     QueryPayload,
@@ -44,24 +45,39 @@ from repro.runtime.pool import (
     WorkerHandle,
     WorkerPool,
 )
+from repro.runtime.shm import (
+    SegmentRegistry,
+    SharedSnapshotRef,
+    attach_store,
+    segment_exists,
+)
 from repro.runtime.snapshot import (
     SHARD_SNAPSHOT_SCHEMA,
     ShardSnapshot,
+    SnapshotSchemaError,
     owned_partitions,
 )
+from repro.runtime.worker import apply_delta
 
 __all__ = [
+    "DeltaRefresh",
     "FanoutStats",
     "MailboxClosedError",
     "MailboxTimeoutError",
     "QueryPayload",
     "SHARD_SNAPSHOT_SCHEMA",
     "START_METHODS",
+    "SegmentRegistry",
     "ShardSnapshot",
     "ShardedExecutor",
+    "SharedSnapshotRef",
+    "SnapshotSchemaError",
     "WorkerCrashError",
     "WorkerHandle",
     "WorkerPool",
+    "apply_delta",
+    "attach_store",
     "owned_partitions",
     "run_sharded_workload",
+    "segment_exists",
 ]

@@ -115,16 +115,56 @@ class ExecuteResponse:
 
 
 @dataclass(frozen=True, slots=True)
-class RefreshRequest:
-    """Coordinator -> worker: replace the resident shard state."""
+class DeltaRefresh:
+    """Compact mutation log between two published store versions.
 
-    state: dict[str, Any]
+    ``ops`` is the coordinator store's journal slice -- plain tuples
+    tagged ``"v+"``/``"v-"``/``"e+"``/``"e-"``/``"a"``/``"p-"``/``"m"``/
+    ``"r+"``/``"r0"`` -- replayed verbatim through the worker replica's
+    own mutators (:func:`repro.runtime.worker.apply_delta`).  Replay is
+    deterministic: a replica that imported the ``from_version`` image
+    reaches byte-for-byte the coordinator's ``to_version`` iteration
+    orders, label index and slot recycling.  ``capacity`` ships the
+    coordinator's current bound so replayed placements never hit a stale
+    ceiling (capacity growth is not a journalled op).
+    """
+
+    from_version: int
+    to_version: int
+    capacity: int
+    ops: tuple[tuple, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshRequest:
+    """Coordinator -> worker: bring the resident shard state up to date.
+
+    Exactly one of the two fields is set.  ``snapshot`` replaces the
+    whole resident store -- either a pickled
+    :class:`~repro.runtime.snapshot.ShardSnapshot` or a
+    :class:`~repro.runtime.shm.SharedSnapshotRef` pointing at a published
+    shared-memory segment.  ``delta`` replays a mutation log into the
+    resident store instead (O(changes), the common case).
+    """
+
+    snapshot: Any = None
+    delta: DeltaRefresh | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class RefreshResponse:
+    """Worker -> coordinator: refresh outcome.
+
+    ``applied`` is False when a delta's ``from_version`` did not match
+    the worker's resident version -- the worker's state is then
+    untouched, and ``resident_version`` tells the coordinator what the
+    worker still holds (grounds for a full re-prime).
+    """
+
     worker_id: int
     import_seconds: float
+    applied: bool = True
+    resident_version: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,18 +1,37 @@
 """The worker pool: spawn, prime, dispatch, collect, shut down.
 
 A :class:`WorkerPool` hosts ``N`` worker processes, each booted from the
-same pickled :class:`~repro.runtime.snapshot.ShardSnapshot` and owning a
-disjoint round-robin slice of the partitions.  The pool is the only
+same columnar :class:`~repro.runtime.snapshot.ShardSnapshot` and owning
+a disjoint round-robin slice of the partitions.  The pool is the only
 place that talks to the mailboxes: it broadcasts batched requests,
 gathers one response per worker under a shared deadline, and converts
 every failure mode -- a dead process, a broken pipe, a silent worker, an
 in-worker exception -- into :class:`WorkerCrashError`, which callers
 (the sharded executor) treat as "degrade to in-process execution now".
 
+Snapshot transport: with ``shared_memory=True`` (the default) the pool
+publishes the columnar payload once into a
+``multiprocessing.shared_memory`` segment via its
+:class:`~repro.runtime.shm.SegmentRegistry` and ships workers a tiny
+ref; each worker decodes its private replica straight off the shared
+``memoryview``.  The segment is unlinked the moment every worker has
+confirmed its decode, and the registry is closed on *every* pool
+teardown path, so no exit leaves a segment linked.  Platforms without
+usable shared memory degrade to pickling the payload inline.
+
+Refresh has two speeds: :meth:`refresh` republishes the full snapshot
+(and skips the broadcast entirely when the version is unchanged), while
+:meth:`refresh_delta` ships only the coordinator's mutation log for the
+workers to replay in place -- O(changes), the hot path after small
+ingests/retractions.  Delta application is all-or-nothing across the
+pool: workers reject a mismatched delta without touching state, and any
+rejection closes the pool (a half-refreshed pool would break the
+byte-identical merge guarantee).
+
 Start methods: ``spawn`` gives every worker a fresh interpreter (the
 cross-platform default; slower to boot), ``fork`` clones the parent
 (fast, POSIX only).  Both are deterministic here -- workers derive all
-state from the pickled snapshot and never read global randomness -- but
+state from the shipped snapshot and never read global randomness -- but
 ``spawn`` is the default because it behaves identically on every
 platform and cannot inherit accidental parent state.
 """
@@ -24,6 +43,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.runtime.mailbox import (
+    DeltaRefresh,
     ErrorResponse,
     ExecuteRequest,
     ExecuteResponse,
@@ -36,6 +56,7 @@ from repro.runtime.mailbox import (
     RefreshResponse,
     Shutdown,
 )
+from repro.runtime.shm import SegmentRegistry
 from repro.runtime.snapshot import ShardSnapshot, owned_partitions
 
 #: Start methods the pool accepts (validated here and by WorkerConfig).
@@ -67,6 +88,7 @@ class WorkerPool:
         workers: int,
         start_method: str = "spawn",
         timeout: float = 60.0,
+        shared_memory: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -84,8 +106,15 @@ class WorkerPool:
         self.version = snapshot.version
         self._request_id = 0
         self._closed = False
+        self._shared_memory = shared_memory
+        self.segments = SegmentRegistry()
+        #: Full-snapshot and delta refresh broadcasts actually sent
+        #: (no-op version-equal calls are skipped and counted nowhere).
+        self.refreshes = 0
+        self.delta_refreshes = 0
         from repro.runtime.worker import worker_main
 
+        source = self._publish(snapshot)
         context = multiprocessing.get_context(start_method)
         handles: list[WorkerHandle] = []
         try:
@@ -94,7 +123,7 @@ class WorkerPool:
                 partitions = owned_partitions(snapshot.k, workers, worker_id)
                 process = context.Process(
                     target=worker_main,
-                    args=(worker_id, child_end, snapshot, partitions),
+                    args=(worker_id, child_end, source, partitions),
                     name=f"repro-shard-worker-{worker_id}",
                     daemon=True,
                 )
@@ -118,11 +147,32 @@ class WorkerPool:
             self.handles = tuple(handles)
             self.close()
             raise
+        # Every worker confirmed its decode; the boot segment is garbage.
+        self.segments.close()
 
     # ------------------------------------------------------------------
+    def _publish(self, snapshot: ShardSnapshot):
+        """The boot/refresh source to ship: a shared-memory ref when the
+        platform provides segments, the snapshot itself otherwise."""
+        if self._shared_memory:
+            try:
+                return self.segments.publish(
+                    snapshot.payload, version=snapshot.version
+                )
+            except OSError:
+                # No usable shared memory here (permissions, mount);
+                # degrade to inline payloads for the pool's lifetime.
+                self._shared_memory = False
+        return snapshot
+
     @property
     def worker_count(self) -> int:
         return len(self.handles)
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        """True while snapshots travel via shared-memory segments."""
+        return self._shared_memory
 
     @property
     def alive(self) -> bool:
@@ -206,39 +256,111 @@ class WorkerPool:
             raise
         return responses
 
+    def _gather_refresh(self) -> tuple[float, list[RefreshResponse]]:
+        """One RefreshResponse per worker; returns (slowest, responses)."""
+        slowest = 0.0
+        responses: list[RefreshResponse] = []
+        for handle in self.handles:
+            message = self._receive(handle)
+            if not isinstance(message, RefreshResponse):
+                raise WorkerCrashError(
+                    f"worker {handle.worker_id} answered out of "
+                    f"protocol: {type(message).__name__}"
+                )
+            responses.append(message)
+            handle.import_seconds = message.import_seconds
+            slowest = max(slowest, message.import_seconds)
+        return slowest, responses
+
     def refresh(self, snapshot: ShardSnapshot) -> float:
         """Replace every worker's resident shard state in place.
 
-        Returns the slowest worker's import time.  Much cheaper than
-        respawning the pool after each ingest/retract/rebalance.  Like
-        :meth:`execute`, a failed refresh closes the pool -- half the
-        workers may already hold the new state, so partial success is
-        indistinguishable from corruption.
+        Skips the broadcast outright when ``snapshot.version`` equals
+        the pool's primed version -- re-priming workers that already
+        mirror the store would cost a full O(graph) round per worker for
+        nothing (the no-op-ingest / failed-retract case).
+
+        Returns the slowest worker's import time (0.0 when skipped).
+        Much cheaper than respawning the pool after each
+        ingest/retract/rebalance.  Like :meth:`execute`, a failed
+        refresh closes the pool -- half the workers may already hold the
+        new state, so partial success is indistinguishable from
+        corruption.
         """
         if self._closed:
             raise WorkerCrashError("pool is closed")
+        if snapshot.version == self.version:
+            return 0.0
+        source = self._publish(snapshot)
         try:
-            self._broadcast(RefreshRequest(snapshot.state))
-            slowest = 0.0
-            for handle in self.handles:
-                message = self._receive(handle)
-                if not isinstance(message, RefreshResponse):
-                    raise WorkerCrashError(
-                        f"worker {handle.worker_id} answered out of "
-                        f"protocol: {type(message).__name__}"
-                    )
-                handle.import_seconds = message.import_seconds
-                slowest = max(slowest, message.import_seconds)
+            self._broadcast(RefreshRequest(snapshot=source))
+            slowest, responses = self._gather_refresh()
+            if not all(response.applied for response in responses):
+                # Full refreshes are unconditional in the worker; a
+                # refusal means the protocol itself broke.
+                raise WorkerCrashError(
+                    "worker refused a full snapshot refresh"
+                )
         except WorkerCrashError:
             self.close()
             raise
+        finally:
+            # Confirmed or failed, the refresh segment is garbage now.
+            self.segments.close()
+        self.refreshes += 1
         self.version = snapshot.version
+        return slowest
+
+    def refresh_delta(self, delta: DeltaRefresh) -> float:
+        """Replay a coordinator mutation log on every worker in place.
+
+        O(changes) instead of O(graph): this is what makes small
+        mutations cheap to propagate.  The pool's primed version must be
+        the delta's ``from_version``; a version-equal delta
+        (``to_version == version``) is skipped like a no-op refresh.
+
+        All-or-nothing: a worker whose resident version does not match
+        refuses without touching state, and *any* refusal (or crash)
+        closes the pool -- deterministic replicas can only disagree on
+        versions if something is already corrupt, and a half-refreshed
+        pool would break the byte-identical merge guarantee.
+        """
+        if self._closed:
+            raise WorkerCrashError("pool is closed")
+        if delta.to_version == self.version:
+            return 0.0
+        try:
+            if delta.from_version != self.version:
+                # Nothing was broadcast, but every WorkerCrashError a
+                # refresh raises must leave the pool closed -- the
+                # session layer respawns on that signal and would leak
+                # live worker processes otherwise.
+                raise WorkerCrashError(
+                    f"delta covers {delta.from_version}->{delta.to_version} "
+                    f"but the pool is primed at {self.version}"
+                )
+            self._broadcast(RefreshRequest(delta=delta))
+            slowest, responses = self._gather_refresh()
+            refused = [r.worker_id for r in responses if not r.applied]
+            if refused:
+                raise WorkerCrashError(
+                    f"workers {refused} refused delta "
+                    f"{delta.from_version}->{delta.to_version}: resident "
+                    "versions diverged"
+                )
+        except WorkerCrashError:
+            self.close()
+            raise
+        self.delta_refreshes += 1
+        self.version = delta.to_version
         return slowest
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Drain and reap every worker (idempotent, never raises)."""
+        """Drain and reap every worker, unlink every segment
+        (idempotent, never raises)."""
         if self._closed:
+            self.segments.close()
             return
         self._closed = True
         for handle in self.handles:
@@ -252,6 +374,7 @@ class WorkerPool:
                 handle.process.terminate()
                 handle.process.join(timeout=2.0)
             handle.mailbox.close()
+        self.segments.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -262,5 +385,6 @@ class WorkerPool:
     def __repr__(self) -> str:
         return (
             f"WorkerPool(workers={self.worker_count}, "
-            f"version={self.version}, alive={self.alive})"
+            f"version={self.version}, alive={self.alive}, "
+            f"shm={self._shared_memory})"
         )

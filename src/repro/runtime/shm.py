@@ -1,0 +1,163 @@
+"""Shared-memory snapshot publication and the segment registry.
+
+The coordinator writes one columnar store image
+(:meth:`~repro.cluster.store.DistributedGraphStore.export_columns`) into
+a ``multiprocessing.shared_memory`` segment and hands workers a tiny
+picklable :class:`SharedSnapshotRef` instead of the image itself; every
+worker attaches the segment and decodes its private store replica from a
+``memoryview`` -- N workers cost one payload copy into the segment, not
+N pickled copies through N pipes.
+
+Lifecycle discipline (the part that must never leak):
+
+* every segment a pool creates is owned by exactly one
+  :class:`SegmentRegistry`;
+* the registry unlinks a segment as soon as every worker has confirmed
+  its decode (workers keep private decoded stores, never live views, so
+  the segment is garbage the moment the last decode finishes);
+* :meth:`SegmentRegistry.close` unlinks everything still registered and
+  is invoked from every pool teardown path -- explicit close, crash
+  degradation, failed spawn, pool respawn -- so no path exits with a
+  linked segment.
+
+CPython's ``resource_tracker`` interplay (3.11): *attaching* registers
+the segment name with the tracker just like creating does.  That is
+harmless here -- the tracker's per-type cache is a set, duplicate
+registrations collapse, and the coordinator's unlink (which the pool
+only issues *after* every worker confirmed attach+decode, so the
+workers' register writes are already in the tracker pipe) unregisters
+the name exactly once.  If the coordinator process dies before
+unlinking, the tracker unlinks the leaked segment at interpreter
+shutdown with a warning -- degraded, but still reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+from repro.cluster.store import DistributedGraphStore
+from repro.runtime.snapshot import SHARD_SNAPSHOT_SCHEMA, SnapshotSchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class SharedSnapshotRef:
+    """Picklable pointer to a published columnar snapshot segment."""
+
+    name: str
+    num_bytes: int
+    version: int = 0
+    schema: str = SHARD_SNAPSHOT_SCHEMA
+
+
+def attach_store(ref: SharedSnapshotRef) -> DistributedGraphStore:
+    """Decode a private store replica out of a published segment.
+
+    The segment is attached, decoded from a ``memoryview`` (no
+    intermediate payload copy) and detached again before returning; the
+    caller owns only ordinary process-private memory afterwards.
+    """
+    if ref.schema != SHARD_SNAPSHOT_SCHEMA:
+        raise SnapshotSchemaError(
+            f"shared snapshot schema {ref.schema!r} is not the runtime's "
+            f"{SHARD_SNAPSHOT_SCHEMA!r}; refusing to attach"
+        )
+    segment = shared_memory.SharedMemory(name=ref.name)
+    try:
+        view = segment.buf[: ref.num_bytes]
+        try:
+            return DistributedGraphStore.import_columns(view)
+        finally:
+            view.release()
+    finally:
+        segment.close()
+
+
+class SegmentRegistry:
+    """Owner of every shared-memory segment one pool publishes.
+
+    Guarantees unlink-on-close: whatever teardown path runs (clean
+    close, crash degradation, failed spawn), closing the registry reaps
+    every segment still linked.  ``history`` keeps the name of every
+    segment ever published, so leak checks can assert that none of them
+    survives the session.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        #: Names of all segments ever published (for leak auditing).
+        self.history: list[str] = []
+
+    def publish(self, payload: bytes, *, version: int = 0) -> SharedSnapshotRef:
+        """Copy ``payload`` into a fresh segment and return its ref.
+
+        Raises ``OSError`` when the platform cannot provide shared
+        memory; callers fall back to shipping the payload inline.
+        """
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(len(payload), 1)
+        )
+        try:
+            segment.buf[: len(payload)] = payload
+        except BaseException:
+            segment.close()
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - best-effort reap
+                pass
+            raise
+        self._segments[segment.name] = segment
+        self.history.append(segment.name)
+        return SharedSnapshotRef(
+            name=segment.name, num_bytes=len(payload), version=version
+        )
+
+    def unlink(self, name: str) -> None:
+        """Release one segment (idempotent, never raises)."""
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        """Release every segment still linked (idempotent)."""
+        for name in list(self._segments):
+            self.unlink(name)
+
+    @property
+    def active(self) -> tuple[str, ...]:
+        """Names of segments currently linked (empty after close)."""
+        return tuple(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentRegistry(active={len(self._segments)}, "
+            f"published={len(self.history)})"
+        )
+
+
+def segment_exists(name: str) -> bool:
+    """True when a POSIX shared-memory segment ``name`` is still linked.
+
+    Used by leak checks.  On Linux, segments are files under
+    ``/dev/shm``, so existence is a stat -- no attach, no
+    resource-tracker side effects.  Elsewhere, fall back to an attach
+    probe (and immediately detach).
+    """
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        return (shm_dir / name.lstrip("/")).exists()
+    try:  # pragma: no cover - non-Linux fallback
+        probe = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):  # pragma: no cover
+        return False
+    probe.close()  # pragma: no cover
+    return True  # pragma: no cover

@@ -2,10 +2,12 @@
 
 Run as ``python -m repro.runtime.smoke`` (CI's bench-smoke job does).
 Opens a 2-worker session, ingests the motif testbed, executes the same
-workload serially and through the worker pool, and exits non-zero if the
-two reports diverge by a single field, a worker misbehaves, or shutdown
-leaves a process behind -- the fast regression tripwire for
-worker-process breakage on shared runners.
+workload serially and through the worker pool, retracts a few elements
+to force a delta refresh of the resident workers, re-checks parity, and
+exits non-zero if any report diverges by a single field, a worker
+misbehaves, the shared-memory/delta plumbing is bypassed, a segment
+outlives the session, or shutdown leaves a process behind -- the fast
+regression tripwire for worker-process breakage on shared runners.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import sys
 
 from repro.api import Cluster, ClusterConfig, WorkerConfig
 from repro.bench.experiments import _motif_testbed
+from repro.runtime.shm import segment_exists
 
 WORKERS = 2
 
@@ -48,7 +51,9 @@ def main(start_method: str = "spawn") -> int:
         if session.pool is None or not session.pool.alive:
             print("FAIL: worker pool did not come up", file=sys.stderr)
             return 1
-        processes = [handle.process for handle in session.pool.handles]
+        pool = session.pool
+        processes = [handle.process for handle in pool.handles]
+        segment_names = list(pool.segments.history)
         if serial != parallel:
             print(
                 f"FAIL: parallel report diverged from serial\n"
@@ -56,12 +61,52 @@ def main(start_method: str = "spawn") -> int:
                 file=sys.stderr,
             )
             return 1
+        if pool.uses_shared_memory and not segment_names:
+            print(
+                "FAIL: pool reports shared memory but published no segment",
+                file=sys.stderr,
+            )
+            return 1
+        # Mutate the resident graph, then query again: the session must
+        # re-sync the *same* pool via a delta (ops journalled by the
+        # retraction), and parallel results must still match serial.
+        vertex = next(iter(session.graph.vertices()))
+        session.retract(vertices=[vertex])
+        serial = session.run_workload(executions=40, seed=2, workers=1)
+        parallel = session.run_workload(executions=40, seed=2)
+        if serial != parallel:
+            print(
+                f"FAIL: post-retract parallel report diverged from serial\n"
+                f"  serial:   {serial}\n  parallel: {parallel}",
+                file=sys.stderr,
+            )
+            return 1
+        if session.pool is not pool or pool.delta_refreshes < 1:
+            print(
+                "FAIL: retraction did not delta-refresh the resident pool "
+                f"(pool reused: {session.pool is pool}, "
+                f"delta_refreshes: {pool.delta_refreshes})",
+                file=sys.stderr,
+            )
+            return 1
+        segment_names = list(pool.segments.history)
     finally:
         session.close()
     if any(process.is_alive() for process in processes):
         print("FAIL: worker survived session.close()", file=sys.stderr)
         return 1
-    print(f"{WORKERS}-worker runtime smoke ok ({start_method})")
+    leaked = [name for name in segment_names if segment_exists(name)]
+    if leaked:
+        print(
+            f"FAIL: shared-memory segments leaked: {leaked}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{WORKERS}-worker runtime smoke ok ({start_method}; "
+        f"shm={pool.uses_shared_memory} delta_refreshes="
+        f"{pool.delta_refreshes} segments_reaped={len(segment_names)})"
+    )
     return 0
 
 

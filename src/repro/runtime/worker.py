@@ -1,10 +1,25 @@
 """The worker process: one shard host in the multi-process runtime.
 
 ``worker_main`` is the spawn/fork entry point.  A worker boots by
-restoring its pickled :class:`~repro.runtime.snapshot.ShardSnapshot`
-into a private :class:`~repro.cluster.store.DistributedGraphStore`
-replica, announces itself with a ``Hello``, then serves batched mailbox
-requests until told to shut down (or its pipe closes).
+materialising its private :class:`~repro.cluster.store.DistributedGraphStore`
+replica -- decoding a shared-memory segment in place when handed a
+:class:`~repro.runtime.shm.SharedSnapshotRef`, unpickling a
+:class:`~repro.runtime.snapshot.ShardSnapshot` otherwise -- announces
+itself with a ``Hello``, then serves batched mailbox requests until told
+to shut down (or its pipe closes).
+
+Refresh has two speeds.  A full :class:`RefreshRequest.snapshot`
+replaces the resident store outright (first boot, delta overflow,
+version gaps).  A :class:`RefreshRequest.delta` replays the
+coordinator's compact mutation log into the *existing* replica --
+O(changes) instead of O(graph).  Replay goes through the store's own
+mutators, so a replica that was byte-equivalent at ``from_version`` is
+byte-equivalent at ``to_version``: same dict insertion orders, same
+label index, same recycled slots -- across every worker, which is what
+keeps cross-worker answer dedup sound.  A delta whose ``from_version``
+does not match the resident version is refused without touching state
+(``applied=False``); the coordinator treats that as grounds for a full
+re-prime.
 
 For an :class:`~repro.runtime.mailbox.ExecuteRequest` the worker runs,
 for every query in the batch, the search subtrees rooted at the depth-0
@@ -29,6 +44,7 @@ from multiprocessing.connection import Connection
 from repro.cluster.executor import DistributedQueryExecutor
 from repro.cluster.store import DistributedGraphStore
 from repro.runtime.mailbox import (
+    DeltaRefresh,
     ErrorResponse,
     ExecuteRequest,
     ExecuteResponse,
@@ -38,7 +54,47 @@ from repro.runtime.mailbox import (
     RefreshResponse,
     Shutdown,
 )
-from repro.runtime.snapshot import ShardSnapshot
+from repro.runtime.shm import SharedSnapshotRef, attach_store
+
+
+def _boot_store(source) -> tuple[DistributedGraphStore, int]:
+    """Materialise a store replica from either snapshot transport."""
+    if isinstance(source, SharedSnapshotRef):
+        return attach_store(source), source.version
+    return source.restore(), source.version
+
+
+def apply_delta(store: DistributedGraphStore, delta: DeltaRefresh) -> None:
+    """Replay a coordinator mutation log into ``store`` in place.
+
+    Every op goes through the store's public mutators, so the replica's
+    derived orders evolve exactly as the coordinator's did.  An unknown
+    tag raises (protocol mismatch -- never silently skip state).
+    """
+    if delta.capacity > store.assignment.capacity:
+        store.assignment.grow_capacity(delta.capacity)
+    for op in delta.ops:
+        tag = op[0]
+        if tag == "e+":
+            store.add_edge(op[1], op[2])
+        elif tag == "e-":
+            store.remove_edge(op[1], op[2])
+        elif tag == "v+":
+            store.add_vertex(op[1], op[2])
+        elif tag == "v-":
+            store.remove_vertex(op[1])
+        elif tag == "a":
+            store.assign_vertex(op[1], op[2])
+        elif tag == "p-":
+            store.retract_assignment(op[1])
+        elif tag == "m":
+            store.move_vertex(op[1], op[2])
+        elif tag == "r+":
+            store.add_replica(op[1], op[2])
+        elif tag == "r0":
+            store.clear_replicas()
+        else:
+            raise ValueError(f"unknown delta op tag {tag!r}")
 
 
 def execute_request(
@@ -90,15 +146,49 @@ def execute_request(
     )
 
 
+def _handle_refresh(
+    store: DistributedGraphStore,
+    resident_version: int,
+    message: RefreshRequest,
+    worker_id: int,
+) -> tuple[DistributedGraphStore, int, RefreshResponse]:
+    """Apply one refresh; returns (store, version, response)."""
+    began = time.perf_counter()
+    delta = message.delta
+    if delta is not None:
+        if delta.from_version != resident_version:
+            return store, resident_version, RefreshResponse(
+                worker_id,
+                0.0,
+                applied=False,
+                resident_version=resident_version,
+            )
+        apply_delta(store, delta)
+        version = delta.to_version
+    else:
+        store, version = _boot_store(message.snapshot)
+    return store, version, RefreshResponse(
+        worker_id,
+        time.perf_counter() - began,
+        applied=True,
+        resident_version=version,
+    )
+
+
 def worker_main(
     worker_id: int,
     connection: Connection,
-    snapshot: ShardSnapshot,
+    source,
     partitions: tuple[int, ...],
 ) -> None:
-    """Process entry point: restore the shard, serve the mailbox."""
+    """Process entry point: materialise the shard, serve the mailbox.
+
+    ``source`` is a :class:`~repro.runtime.snapshot.ShardSnapshot`
+    (inline payload) or a :class:`~repro.runtime.shm.SharedSnapshotRef`
+    (attach-and-decode).
+    """
     began = time.perf_counter()
-    store = snapshot.restore()
+    store, resident_version = _boot_store(source)
     owned = frozenset(partitions)
     try:
         connection.send(
@@ -113,13 +203,10 @@ def worker_main(
                 break
             try:
                 if isinstance(message, RefreshRequest):
-                    began = time.perf_counter()
-                    store = DistributedGraphStore.import_state(message.state)
-                    connection.send(
-                        RefreshResponse(
-                            worker_id, time.perf_counter() - began
-                        )
+                    store, resident_version, response = _handle_refresh(
+                        store, resident_version, message, worker_id
                     )
+                    connection.send(response)
                 elif isinstance(message, ExecuteRequest):
                     connection.send(
                         execute_request(store, owned, message, worker_id)

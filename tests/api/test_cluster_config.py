@@ -102,6 +102,9 @@ class TestWorkerConfig:
             "start_method": "fork",
             "request_timeout": 5.0,
             "fallback_serial": False,
+            "refresh_mode": "delta",
+            "shared_memory": True,
+            "max_delta_events": 8192,
         }
         rebuilt = ClusterConfig.from_dict(payload)
         assert rebuilt == config

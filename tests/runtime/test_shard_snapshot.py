@@ -103,6 +103,36 @@ class TestShardSnapshot:
         assert clone.num_edges == store.graph.num_edges
         assert_stores_equivalent(store, clone.restore())
 
+    def test_foreign_schema_is_a_typed_refusal(self):
+        """A snapshot minted by some other (future) runtime must fail
+        with a typed error naming both schemas -- before any decode
+        touches the payload."""
+        import dataclasses
+
+        from repro.runtime import SHARD_SNAPSHOT_SCHEMA, SnapshotSchemaError
+
+        snapshot = ShardSnapshot.of(small_session().store, version=1)
+        alien = dataclasses.replace(
+            snapshot, schema="loom-repro/shard-snapshot/v99"
+        )
+        with pytest.raises(SnapshotSchemaError) as caught:
+            alien.restore()
+        message = str(caught.value)
+        assert "loom-repro/shard-snapshot/v99" in message
+        assert SHARD_SNAPSHOT_SCHEMA in message
+        # Callers that predate the typed error catch ValueError.
+        assert isinstance(caught.value, ValueError)
+
+    def test_foreign_schema_refusal_covers_shape_properties(self):
+        from repro.runtime import SnapshotSchemaError
+
+        import dataclasses
+
+        snapshot = ShardSnapshot.of(small_session().store)
+        alien = dataclasses.replace(snapshot, schema="foreign")
+        with pytest.raises(SnapshotSchemaError):
+            alien.num_vertices
+
 
 class TestOwnedPartitions:
     @pytest.mark.parametrize("k", [1, 3, 8])

@@ -239,6 +239,71 @@ class TestDifferentialChurn:
         finally:
             session.close()
 
+    @pytest.mark.parametrize("seed", range(6))
+    def test_delta_replayed_workers_match_fresh_boot(self, seed):
+        """Two sessions ingest the same churned stream through the same
+        split; one keeps its workers resident across the split (the
+        second half reaches them as a replayed mutation log), the other
+        boots its workers fresh from a full snapshot of the final state.
+        Both must answer the sampled workload identically to the serial
+        executor, field for field -- the delta path may not leave even
+        one bit of divergence behind."""
+        from repro.api import WorkerConfig
+        from repro.bench.scaling import default_start_method
+
+        events = generate_events(seed + 6000)
+        cut = len(events) // 2
+
+        def churny_session(refresh_mode):
+            return Cluster.open(
+                ClusterConfig(
+                    partitions=3,
+                    method="ldg",
+                    window_size=7,
+                    motif_threshold=0.5,
+                    batch_size=16,
+                    seed=seed,
+                    worker=WorkerConfig(
+                        count=2,
+                        start_method=default_start_method(),
+                        fallback_serial=False,
+                        refresh_mode=refresh_mode,
+                    ),
+                ),
+                workload=churny_workload(),
+            )
+
+        resident = churny_session("delta")
+        fresh = churny_session("full")
+        try:
+            resident.ingest(events[:cut], workers=1)
+            resident.run_workload(executions=25, seed=9)  # boots the pool
+            boot_pool = resident.pool
+            resident.ingest(events[cut:], workers=1)
+            serial = resident.run_workload(executions=25, seed=11, workers=1)
+            replayed = resident.run_workload(executions=25, seed=11)
+            # The same workers answered, synced by replaying the second
+            # half's mutation log -- not by a respawn or a re-prime.
+            assert resident.pool is boot_pool
+            assert boot_pool.delta_refreshes >= 1
+            assert boot_pool.refreshes == 0
+
+            # Identical coordinator state, workers booted from scratch.
+            fresh.ingest(events[:cut], workers=1)
+            fresh.ingest(events[cut:], workers=1)
+            booted = fresh.run_workload(executions=25, seed=11)
+            assert fresh.pool.delta_refreshes == 0
+
+            assert replayed == serial
+            assert booted == serial
+            for query in churny_workload():
+                reference = resident.query(query, workers=1)
+                assert resident.query(query, workers=2) == reference
+                assert fresh.query(query, workers=2) == reference
+        finally:
+            resident.close()
+            fresh.close()
+
     @pytest.mark.parametrize("seed", range(8))
     def test_matcher_state_dies_with_the_stream(self, seed):
         """After a churned ingest the matcher tracks no match touching a
