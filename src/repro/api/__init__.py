@@ -18,7 +18,7 @@ which pieces to build, in which order, with which randomness -- is owned
 here and implemented exactly once.
 """
 
-from repro.api.config import ClusterConfig, WorkerConfig
+from repro.api.config import ClusterConfig, DurabilityConfig, WorkerConfig
 from repro.api.results import (
     AssignmentEvaluation,
     ClusterStats,
@@ -27,9 +27,11 @@ from repro.api.results import (
     QueryResult,
     RebalanceReport,
     RepartitionReport,
+    ResilienceReport,
     RetractReport,
     WorkloadReport,
 )
+from repro.runtime.faults import FaultPlan, WorkerFault
 from repro.api.session import (
     DATASET_SEED_OFFSET,
     REPARTITION_SEED_OFFSET,
@@ -44,11 +46,15 @@ from repro.api.session import (
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "DurabilityConfig",
     "WorkerConfig",
+    "FaultPlan",
+    "WorkerFault",
     "Session",
     "ClusterStats",
     "IngestReport",
     "QueryResult",
+    "ResilienceReport",
     "WorkloadReport",
     "RebalanceReport",
     "RepartitionReport",

@@ -22,10 +22,92 @@ from repro.cluster.latency import LatencyModel
 from repro.engine.pipeline import DEFAULT_BATCH_SIZE
 from repro.engine.registry import default_registry
 from repro.exceptions import ConfigurationError
+from repro.runtime.faults import FaultPlan
 from repro.stream.orderings import ORDERINGS
 
 #: How the session keeps the worker pool's shard replicas current.
 REFRESH_MODES = ("delta", "full")
+
+#: Durability modes: ``off`` keeps everything in memory, ``wal``
+#: write-ahead-logs every effective mutation (plus periodic columnar
+#: checkpoints) so a crashed session recovers via ``Cluster.recover``.
+DURABILITY_MODES = ("off", "wal")
+
+
+@dataclass(frozen=True, slots=True)
+class DurabilityConfig:
+    """Knobs of the write-ahead log (:mod:`repro.runtime.wal`).
+
+    ``mode``
+        ``"off"`` (default) or ``"wal"``.  With ``"wal"`` every
+        effective store mutation is appended to a checksummed log under
+        ``wal_dir`` the moment it applies, and the session checkpoints
+        a full columnar image every ``checkpoint_interval`` ops --
+        :meth:`repro.api.Cluster.recover` rebuilds the exact resident
+        state from the newest checkpoint plus the log tail.
+    ``wal_dir``
+        Directory of the log (required when ``mode="wal"``).  One
+        directory serves exactly one session at a time; opening a fresh
+        session over a directory that already holds durable state
+        raises (recover or empty it first).
+    ``sync``
+        Per-record sync policy.  ``"off"`` buffers in-process (fastest;
+        a crash loses the buffered tail), ``"async"`` (default) flushes
+        each record to the OS page cache (survives ``kill -9`` of the
+        process, not power loss), ``"fsync"`` additionally forces the
+        disk write (survives power loss, costs a disk round-trip per
+        mutation).
+    ``checkpoint_interval``
+        Ops between automatic checkpoints.  Smaller = faster recovery,
+        more checkpoint I/O during ingest.
+    ``segment_bytes``
+        Log-segment rotation threshold.
+    """
+
+    mode: str = "off"
+    wal_dir: str | None = None
+    sync: str = "async"
+    checkpoint_interval: int = 4096
+    segment_bytes: int = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        from repro.runtime.wal import SYNC_POLICIES
+
+        if self.mode not in DURABILITY_MODES:
+            raise ConfigurationError(
+                f"unknown durability mode {self.mode!r}; choose from "
+                f"{DURABILITY_MODES}"
+            )
+        if self.mode == "wal" and not self.wal_dir:
+            raise ConfigurationError(
+                "durability mode 'wal' requires wal_dir"
+            )
+        if self.sync not in SYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown sync policy {self.sync!r}; choose from "
+                f"{SYNC_POLICIES}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.segment_bytes < 4096:
+            raise ConfigurationError("segment_bytes must be >= 4096")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode == "wal"
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DurabilityConfig":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown durability config fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +155,18 @@ class WorkerConfig:
         Journal capacity: mutations beyond this between two refreshes
         overflow the journal and force a full-snapshot refresh (a delta
         bigger than the graph defeats its purpose).
+    ``max_retries``
+        How many times a parallel call is retried (respawning the pool
+        as needed) after a worker crash/hang before the session gives
+        up -- and only then degrades to serial (``fallback_serial=True``)
+        or raises.  ``0`` restores the old one-shot behaviour.
+    ``retry_backoff``
+        Base seconds slept before a retry, doubled per attempt and
+        jittered (seeded by the cluster seed, so runs stay
+        reproducible).  ``0`` retries immediately.
+    ``fault_plan``
+        Optional :class:`~repro.runtime.faults.FaultPlan` of scripted
+        worker failures (deterministic fault-injection tests only).
     """
 
     count: int = 1
@@ -82,10 +176,25 @@ class WorkerConfig:
     refresh_mode: str = "delta"
     shared_memory: bool = True
     max_delta_events: int = 8192
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         from repro.runtime.pool import START_METHODS
 
+        if isinstance(self.fault_plan, dict):
+            # Accept the JSON-plain spelling (snapshots, kwargs).
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_dict(self.fault_plan)
+            )
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan (or its dict form), "
+                f"got {self.fault_plan!r}"
+            )
         if self.count < 1:
             raise ConfigurationError("worker count must be >= 1")
         if self.start_method not in START_METHODS:
@@ -102,6 +211,10 @@ class WorkerConfig:
             )
         if self.max_delta_events < 1:
             raise ConfigurationError("max_delta_events must be >= 1")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
 
     def as_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -163,6 +276,9 @@ class ClusterConfig:
         :class:`WorkerConfig` of the sharded multi-process runtime
         (worker count, start method, timeout, crash fallback).  The
         default runs everything in-process.
+    ``durability``
+        :class:`DurabilityConfig` of the write-ahead log.  The default
+        keeps everything in memory (the pre-WAL behaviour).
     """
 
     partitions: int = 4
@@ -179,6 +295,7 @@ class ClusterConfig:
     seed: int = 0
     method_options: dict[str, Any] = field(default_factory=dict)
     worker: WorkerConfig = field(default_factory=WorkerConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.worker, dict):
@@ -190,6 +307,17 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"worker must be a WorkerConfig (or its dict form), "
                 f"got {self.worker!r}"
+            )
+        if isinstance(self.durability, dict):
+            object.__setattr__(
+                self,
+                "durability",
+                DurabilityConfig.from_dict(self.durability),
+            )
+        if not isinstance(self.durability, DurabilityConfig):
+            raise ConfigurationError(
+                f"durability must be a DurabilityConfig (or its dict "
+                f"form), got {self.durability!r}"
             )
         if self.partitions < 1:
             raise ConfigurationError("partitions must be >= 1")

@@ -143,6 +143,39 @@ class WorkloadReport:
 
 
 @dataclass(frozen=True, slots=True)
+class ResilienceReport:
+    """Degradation and recovery, surfaced as data instead of warnings.
+
+    Every counter is cumulative over the session's lifetime; the
+    fault-matrix tests assert on these rather than parsing warning
+    text.  A healthy parallel session reports all zeros (except the
+    WAL counters when durability is on).
+    """
+
+    #: Worker pools spawned to replace a dead/closed predecessor (the
+    #: first spawn of the session is not a respawn).
+    worker_respawns: int = 0
+    #: Parallel calls re-attempted after a worker crash/hang/timeout.
+    call_retries: int = 0
+    #: Parallel calls that exhausted their retry budget and degraded to
+    #: in-process serial execution.
+    serial_fallbacks: int = 0
+    #: Refreshes that wanted a compact delta but had to rebroadcast a
+    #: full snapshot (journal overflow/invalidations, version gaps).
+    delta_full_fallbacks: int = 0
+    #: Pools that wanted shared-memory transport but degraded to
+    #: inline pickled payloads (unusable /dev/shm).
+    shm_inline_degradations: int = 0
+    #: Write-ahead-log records appended (0 with durability off).
+    wal_records: int = 0
+    #: Columnar checkpoints written (0 with durability off).
+    wal_checkpoints: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterStats:
     """One consistent snapshot of everything a session knows about itself:
     resident graph, balance/cut quality, engine throughput, and the
@@ -171,6 +204,8 @@ class ClusterStats:
     partitioner_counters: dict[str, int] | None
     #: Stream-matcher counters (``None`` for non-motif methods).
     matcher_counters: dict[str, int] | None
+    #: Degradation/recovery counters (see :class:`ResilienceReport`).
+    resilience: ResilienceReport = field(default_factory=ResilienceReport)
 
     def as_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -52,11 +52,11 @@ from repro.api.results import (
     QueryResult,
     RebalanceReport,
     RepartitionReport,
+    ResilienceReport,
     RetractReport,
     WorkloadReport,
 )
-from repro.cluster.executor import DistributedQueryExecutor
-from repro.cluster.executor import run_workload as _execute_workload
+from repro.cluster.executor import DistributedQueryExecutor, WorkloadStats
 from repro.cluster.store import DistributedGraphStore
 from repro.engine.pipeline import (
     EngineStats,
@@ -92,6 +92,21 @@ DATASET_SEED_OFFSET = 13
 WORKLOAD_SEED_OFFSET = 17
 REPARTITION_SEED_OFFSET = 19
 REPLICATION_SEED_OFFSET = 23
+RETRY_SEED_OFFSET = 29
+
+
+@dataclasses.dataclass
+class _ResilienceCounters:
+    """Mutable session-lifetime tally behind :class:`ResilienceReport`."""
+
+    worker_respawns: int = 0
+    call_retries: int = 0
+    serial_fallbacks: int = 0
+    delta_full_fallbacks: int = 0
+    shm_inline_degradations: int = 0
+    # WAL totals folded in when the durable log is released on close.
+    wal_records: int = 0
+    wal_checkpoints: int = 0
 
 
 def _builtin_datasets():
@@ -183,6 +198,53 @@ class Cluster:
             store.assign_vertex(vertex, partition)
         return session
 
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: str | Path,
+        *,
+        workload: Workload | None = None,
+        config: ClusterConfig | None = None,
+    ) -> "Session":
+        """Rebuild a crashed (or closed) durable session from its WAL
+        directory: newest valid checkpoint + op-log tail.
+
+        Recovery is self-contained -- the directory carries the
+        session's own ``config.json`` (pass ``config`` to override it).
+        It is also *tolerant*: a torn tail (the half-written record a
+        ``kill -9`` mid-append leaves) is truncated, not fatal, and the
+        restored store is byte-identical (columnar image equality) to
+        the uninterrupted session at the last durable mutation.  The
+        recovered session checkpoints immediately (compacting the
+        directory), keeps logging, and reports what replay found on
+        :attr:`Session.recovery`.
+        """
+        from repro.runtime.wal import DurableLog, recover_store
+
+        directory = Path(wal_dir)
+        if config is None:
+            payload = DurableLog.read_config(directory)
+            if payload is None:
+                raise SessionError(
+                    f"no durable session under {directory}: config.json "
+                    "is missing (was this directory ever a wal_dir?)"
+                )
+            config = ClusterConfig.from_dict(payload)
+        durability = config.durability
+        if not durability.enabled or Path(durability.wal_dir) != directory:
+            # Recover in place even if the directory moved since the
+            # config was persisted (or durability was toggled off).
+            durability = dataclasses.replace(
+                durability, mode="wal", wal_dir=str(directory)
+            )
+            config = dataclasses.replace(config, durability=durability)
+        store, info = recover_store(
+            directory, partitions=config.partitions
+        )
+        session = Session(config, workload=workload)
+        session._adopt_recovered(store, info)
+        return session
+
 
 class Session:
     """A live simulated cluster: ingest, query, inspect, re-place, persist.
@@ -213,6 +275,14 @@ class Session:
         # ticks it and the next parallel call re-primes stale workers
         # (by delta replay when the journal covers the gap).
         self._pool = None
+        #: Pools spawned so far (the fault plan arms per generation).
+        self._pool_generation = 0
+        self._resilience = _ResilienceCounters()
+        self._retry_rng = random.Random(config.seed + RETRY_SEED_OFFSET)
+        # Durability: the DurableLog subscribed to the store's wal_hook
+        # (None with durability off, or before the store exists).
+        self._wal = None
+        self._recovery = None
 
     # ------------------------------------------------------------------
     # State access
@@ -339,6 +409,8 @@ class Session:
             pool = self._pool = None
         if pool is not None and pool.version != self._store_version:
             delta = self._pending_delta(pool)
+            if delta is None and worker.refresh_mode == "delta":
+                self._resilience.delta_full_fallbacks += 1
             try:
                 if delta is not None:
                     pool.refresh_delta(delta)
@@ -357,67 +429,201 @@ class Session:
             snapshot = ShardSnapshot.of(
                 self.store, version=self._store_version
             )
+            # Each spawn consumes a generation even when it fails: a
+            # scripted boot fault must not re-arm for the respawn that
+            # replaces its victim.
+            generation = self._pool_generation
+            self._pool_generation += 1
             pool = WorkerPool(
                 snapshot,
                 workers=requested,
                 start_method=worker.start_method,
                 timeout=worker.request_timeout,
                 shared_memory=worker.shared_memory,
+                fault_plan=worker.fault_plan,
+                generation=generation,
             )
             self._pool = pool
+            if generation > 0:
+                self._resilience.worker_respawns += 1
+            if worker.shared_memory and not pool.uses_shared_memory:
+                self._resilience.shm_inline_degradations += 1
             # The pool now mirrors the store exactly: start (or restart)
             # the journal so the next refresh can ship a delta.
             if worker.refresh_mode == "delta":
                 self.store.enable_journal(worker.max_delta_events)
         return pool
 
-    def _pool_or_fallback(self, workers: int):
-        """Provision the pool under the crash policy: a provisioning
-        failure degrades to ``None`` (= run in-process) with a warning
-        when ``fallback_serial`` is on, mirroring how mid-request
-        crashes degrade inside the sharded executor."""
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before retry ``attempt`` (1-based): exponential base,
+        jittered from the session's own seeded RNG (reproducible)."""
+        base = self.config.worker.retry_backoff
+        if base <= 0:
+            return
+        delay = base * (2 ** (attempt - 1))
+        time.sleep(delay * (0.5 + self._retry_rng.random()))
+
+    def _with_pool(self, workers: int, run):
+        """Run ``run(pool)`` under the bounded retry/respawn policy.
+
+        A worker crash/hang/timeout anywhere in provisioning or in the
+        call itself closes the pool; the session retries up to
+        ``worker.max_retries`` times with jittered exponential backoff,
+        respawning a fresh pool each time (a scripted fault never
+        re-arms across generations, and a real transient fault gets a
+        clean slate).  A budget exhausted degrades to ``None`` (= run
+        in-process) with a warning when ``fallback_serial`` is on, and
+        raises otherwise.
+        """
         from repro.runtime.pool import WorkerCrashError
 
-        try:
-            return self._ensure_pool(workers)
-        except WorkerCrashError as error:
-            if not self.config.worker.fallback_serial:
+        worker = self.config.worker
+        attempts = 0
+        while True:
+            try:
+                return run(self._ensure_pool(workers))
+            except WorkerCrashError as error:
+                if attempts < worker.max_retries:
+                    attempts += 1
+                    self._resilience.call_retries += 1
+                    self._backoff(attempts)
+                    continue
+                if worker.fallback_serial:
+                    self._resilience.serial_fallbacks += 1
+                    warnings.warn(
+                        f"worker pool failed (after {attempts} "
+                        "retries); degraded to in-process serial "
+                        f"execution: {error}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    return None
                 raise
-            warnings.warn(
-                "worker pool unavailable; degrading to in-process "
-                f"serial execution: {error}",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
 
-    def _executor(self, workers: int, track_edges: bool):
-        """The executor for ``workers`` processes (serial when 1, or
-        when pool provisioning degraded under the crash policy)."""
-        if workers > 1:
-            from repro.runtime.executor import ShardedExecutor
-
-            pool = self._pool_or_fallback(workers)
-            if pool is not None:
-                return ShardedExecutor(
-                    self.store,
-                    pool,
-                    track_edges=track_edges,
-                    fallback=self.config.worker.fallback_serial,
-                )
-        return DistributedQueryExecutor(self.store, track_edges=track_edges)
+    def _pool_or_fallback(self, workers: int):
+        """Provision the pool under the retry/fallback policy;
+        ``None`` means the call runs in-process."""
+        return self._with_pool(workers, lambda pool: pool)
 
     def close(self) -> None:
-        """Reap the worker pool (idempotent; serial state is untouched)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        """Reap the worker pool and release the durable log.
+
+        Idempotent and crash-ordering-safe: safe to call twice, after a
+        degradation, or with every worker already dead (a dead worker's
+        pipe cannot hang the shutdown -- the pool bounds each join and
+        escalates to terminate).  Serial in-memory state is untouched
+        and the session stays usable; durable logging ends here, with
+        the WAL flushed so ``Cluster.recover`` restores exactly the
+        closed state.
+        """
+        pool, self._pool = self._pool, None
+        try:
+            if pool is not None:
+                pool.close()
+        finally:
+            self._release_wal()
+
+    def _release_wal(self) -> None:
+        """Flush/close the durable log, folding its totals into the
+        session counters (stats() keeps reporting them afterwards)."""
+        wal, self._wal = self._wal, None
+        if wal is not None:
+            self._resilience.wal_records += wal.records
+            self._resilience.wal_checkpoints += wal.checkpoints
+            wal.close()
 
     def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The live :class:`~repro.runtime.wal.DurableLog` (or None)."""
+        return self._wal
+
+    @property
+    def recovery(self):
+        """The :class:`~repro.runtime.wal.RecoveryInfo` of a session
+        built by :meth:`Cluster.recover` (``None`` otherwise)."""
+        return self._recovery
+
+    @property
+    def resilience(self) -> ResilienceReport:
+        """Cumulative degradation/recovery counters (also on
+        :meth:`stats`)."""
+        counters = self._resilience
+        wal = self._wal
+        return ResilienceReport(
+            worker_respawns=counters.worker_respawns,
+            call_retries=counters.call_retries,
+            serial_fallbacks=counters.serial_fallbacks,
+            delta_full_fallbacks=counters.delta_full_fallbacks,
+            shm_inline_degradations=counters.shm_inline_degradations,
+            wal_records=counters.wal_records
+            + (wal.records if wal is not None else 0),
+            wal_checkpoints=counters.wal_checkpoints
+            + (wal.checkpoints if wal is not None else 0),
+        )
+
+    def checkpoint(self) -> int:
+        """Force a durable columnar checkpoint now (truncating the op
+        log); returns the checkpointed mutation-tick count.  Requires
+        durability on and a resident store."""
+        if self._wal is None:
+            raise SessionError(
+                "no durable log: durability is off, nothing was "
+                "ingested yet, or the session was closed"
+            )
+        return self._wal.checkpoint()
+
+    def _bind_wal(self, *, fresh: bool) -> None:
+        """Create the durable log and subscribe the resident store.
+
+        ``fresh=True`` (first store of a new session) refuses a
+        directory that already holds durable state -- silently
+        appending to another session's log would interleave two
+        histories; ``Cluster.recover`` is the way in.  ``fresh=False``
+        (recovery, repartition swap) additionally checkpoints at once,
+        making the directory canonical for the adopted state.
+        """
+        durability = self.config.durability
+        if (
+            not durability.enabled
+            or self._wal is not None
+            or self._store is None
+        ):
+            return
+        from repro.runtime.wal import DurableLog, has_state
+
+        directory = Path(durability.wal_dir)
+        if fresh and has_state(directory):
+            raise SessionError(
+                f"{directory} already holds durable state; use "
+                "Cluster.recover to restore it (or point wal_dir at an "
+                "empty directory)"
+            )
+        log = DurableLog(
+            directory,
+            sync=durability.sync,
+            segment_bytes=durability.segment_bytes,
+            checkpoint_interval=durability.checkpoint_interval,
+        )
+        log.write_config(self.config.as_dict())
+        log.bind(self._store)
+        self._wal = log
+        if not fresh:
+            log.checkpoint()
+
+    def _adopt_recovered(self, store: DistributedGraphStore, info) -> None:
+        """Install a store rebuilt by WAL recovery and resume logging."""
+        self._store = store
+        self._recovery = info
+        self._bind_wal(fresh=False)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -576,6 +782,7 @@ class Session:
             self._store = DistributedGraphStore.incremental(
                 self.config.partitions, capacity
             )
+            self._bind_wal(fresh=True)
         return self._store
 
     def _resolve_capacity(self, incoming_vertices: int) -> int:
@@ -603,7 +810,9 @@ class Session:
             total, self.config.partitions, self.config.slack
         )
         if needed > self._store.assignment.capacity:
-            self._store.assignment.grow_capacity(needed)
+            # Through the store (not its assignment directly) so the
+            # WAL records the new ceiling for recovery replay.
+            self._store.grow_capacity(needed)
             if self._partitioner is not None:
                 self._partitioner.assignment.grow_capacity(needed)
 
@@ -763,10 +972,10 @@ class Session:
         if not isinstance(pattern, PatternQuery):
             pattern = PatternQuery(name, pattern)
         self._require_complete()
-        executor = self._executor(
-            self._resolve_workers(workers), track_edges
+        executions = self._run_queries(
+            [pattern], self._resolve_workers(workers), track_edges
         )
-        execution = executor.execute(pattern)
+        execution = executions[0]
         ledger = execution.ledger
         return QueryResult(
             query=pattern.name,
@@ -805,33 +1014,45 @@ class Session:
             )
         self._require_complete()
         sampler = rng or self._derived_rng(WORKLOAD_SEED_OFFSET, seed)
-        effective_workers = self._resolve_workers(workers)
-        pool = (
-            self._pool_or_fallback(effective_workers)
-            if effective_workers > 1
-            else None
+        # Sample once, outside the retry loop: a retried fan-out must
+        # re-execute the identical query stream (the sampler is
+        # stateful), and the serial path aggregates the same list --
+        # field-identical reports whichever path answered.
+        queries = list(target.sample_many(executions, sampler))
+        results = self._run_queries(
+            queries, self._resolve_workers(workers), track_edges
         )
-        if pool is not None:
-            from repro.runtime.executor import run_sharded_workload
-
-            stats, _ = run_sharded_workload(
-                self.store,
-                target,
-                pool,
-                executions=executions,
-                rng=sampler,
-                track_edges=track_edges,
-                fallback=self.config.worker.fallback_serial,
-            )
-        else:
-            stats = _execute_workload(
-                self.store,
-                target,
-                executions=executions,
-                rng=sampler,
-                track_edges=track_edges,
-            )
+        stats = WorkloadStats()
+        stats.ledger.track_edges = track_edges
+        for execution in results:
+            stats.observe(execution)
         return WorkloadReport.from_stats(stats, self._latency)
+
+    def _run_queries(self, queries, workers: int, track_edges: bool):
+        """Execute ``queries`` in one batch: fanned out across the pool
+        under the retry policy when ``workers > 1``, in-process when
+        serial (or when every retry was exhausted and the crash policy
+        degraded the call)."""
+        if workers > 1:
+            from repro.runtime.executor import ShardedExecutor
+
+            results = self._with_pool(
+                workers,
+                lambda pool: ShardedExecutor(
+                    self.store,
+                    pool,
+                    track_edges=track_edges,
+                    # The session's retry loop owns crash policy; the
+                    # executor must surface the crash, not degrade.
+                    fallback=False,
+                ).run(queries),
+            )
+            if results is not None:
+                return results
+        serial = DistributedQueryExecutor(
+            self.store, track_edges=track_edges
+        )
+        return [serial.execute(query) for query in queries]
 
     # ------------------------------------------------------------------
     # Inspection
@@ -892,6 +1113,7 @@ class Session:
                 if isinstance(matcher_counters, dict)
                 else None
             ),
+            resilience=self.resilience,
         )
 
     # ------------------------------------------------------------------
@@ -939,8 +1161,18 @@ class Session:
             max_load_before=normalised_max_load(old_assignment),
             max_load_after=0.0,
         )
+        # The scratch session must not touch this session's WAL
+        # directory (nor demand one of its own): durability stays with
+        # the adopting session, which re-binds after the swap.
+        scratch_config = new_config
+        if new_config.durability.enabled:
+            from repro.api.config import DurabilityConfig
+
+            scratch_config = dataclasses.replace(
+                new_config, durability=DurabilityConfig()
+            )
         fresh = Cluster.open(
-            new_config, workload=workload or self._workload, rng=rng
+            scratch_config, workload=workload or self._workload, rng=rng
         )
         stream_rng = rng or self._derived_rng(REPARTITION_SEED_OFFSET, seed)
         events = stream_from_graph(
@@ -963,8 +1195,11 @@ class Session:
         self._latency = fresh._latency
         # The adopted store is a different object whose mutation ticks
         # could coincidentally equal the old pool's primed version; the
-        # pool must not survive the swap.
+        # pool must not survive the swap.  Neither can the old durable
+        # log (it subscribes to the replaced store): release it and
+        # re-bind to the adopted store, checkpointing the swap.
         self.close()
+        self._bind_wal(fresh=False)
         return dataclasses.replace(
             before,
             moved_vertices=moved,

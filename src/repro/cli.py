@@ -8,6 +8,8 @@
     loom-repro experiment all --json     # ... or machine-readable JSON
     loom-repro demo                      # figure-1 walkthrough
     loom-repro partition --graph g.txt --method loom -k 4 --workers 4 --json
+    loom-repro partition --graph g.txt --wal-dir wal/ --sync fsync
+    loom-repro recover --wal-dir wal/ --json --out recovered.json
     loom-repro retract --snapshot c.json --vertex 7 --edge 1 2 --out c2.json
     loom-repro rebalance --snapshot c.json --max-moves 20 --out c2.json
     loom-repro bench --out BENCH_PR6.json --baseline BENCH_PR5.json
@@ -35,7 +37,7 @@ import random
 import sys
 from pathlib import Path
 
-from repro.api import Cluster, ClusterConfig, WorkerConfig
+from repro.api import Cluster, ClusterConfig, DurabilityConfig, WorkerConfig
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.engine.registry import UnknownPartitionerError, default_registry
 from repro.exceptions import ConfigurationError, GraphError, SessionError
@@ -143,6 +145,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         return _fail(f"cannot parse graph file {args.graph!r}: {error}")
     try:
         spec = default_registry.resolve(args.method)
+        durability = DurabilityConfig()
+        if args.wal_dir:
+            durability = DurabilityConfig(
+                mode="wal", wal_dir=args.wal_dir, sync=args.sync
+            )
         config = ClusterConfig(
             partitions=args.k,
             method=args.method,
@@ -150,6 +157,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             ordering=args.ordering,
             seed=args.seed,
             worker=WorkerConfig(count=args.workers),
+            durability=durability,
         )
     except (UnknownPartitionerError, ConfigurationError) as error:
         return _fail(str(error))
@@ -185,6 +193,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                 executions=args.queries * 20, rng=random.Random(args.seed + 2)
             )
             payload["p_remote"] = report.remote_probability
+        if args.wal_dir:
+            # Leave the directory compact: one checkpoint, empty tail.
+            session.checkpoint()
+            resilience = session.resilience
+            payload["wal_dir"] = args.wal_dir
+            payload["wal_records"] = resilience.wal_records
+            payload["wal_checkpoints"] = resilience.wal_checkpoints
     finally:
         session.close()
     if args.json:
@@ -201,6 +216,60 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         print(f"throughput={payload['vertices_per_second']:.0f} vertices/s")
     if "p_remote" in payload:
         print(f"p_remote={payload['p_remote']:.4f}")
+    if "wal_dir" in payload:
+        print(
+            f"wal={payload['wal_dir']} records={payload['wal_records']} "
+            f"checkpoints={payload['wal_checkpoints']}"
+        )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    try:
+        session = Cluster.recover(args.wal_dir)
+    except (SessionError, ConfigurationError, OSError) as error:
+        return _fail(f"cannot recover from {args.wal_dir!r}: {error}")
+    try:
+        stats = session.stats()
+        info = session.recovery
+        payload = {
+            "wal_dir": args.wal_dir,
+            "method": stats.method,
+            "partitions": stats.partitions,
+            "vertices": stats.vertices,
+            "edges": stats.edges,
+            "checkpoint_ticks": info.checkpoint_ticks,
+            "replayed_ops": info.replayed_ops,
+            "skipped_ops": info.skipped_ops,
+            "segments_read": info.segments_read,
+            "torn_tail": info.torn_tail,
+            "recovered_ticks": info.recovered_ticks,
+        }
+        if args.out:
+            session.snapshot(args.out)
+            payload["out"] = args.out
+    except SessionError as error:
+        return _fail(str(error))
+    except OSError as error:
+        return _fail(f"cannot write snapshot {args.out!r}: {error}")
+    finally:
+        session.close()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"recovered {payload['vertices']} vertices / {payload['edges']} edges "
+        f"({stats.method}, k={stats.partitions}) at tick "
+        f"{payload['recovered_ticks']}"
+    )
+    print(
+        f"checkpoint tick {payload['checkpoint_ticks']}, "
+        f"{payload['replayed_ops']} ops replayed, "
+        f"{payload['skipped_ops']} skipped, "
+        f"torn_tail={'yes' if payload['torn_tail'] else 'no'}"
+    )
+    if args.out:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -373,9 +442,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for sharded query execution "
                       "(1 = in-process; results are identical either way)")
     part.add_argument("--seed", type=int, default=0)
+    part.add_argument("--wal-dir", default=None,
+                      help="write-ahead-log directory; enables durability "
+                      "(recover later with 'loom-repro recover')")
+    part.add_argument("--sync", default="async",
+                      choices=["off", "async", "fsync"],
+                      help="WAL sync policy (async survives kill -9, "
+                      "fsync also survives power loss)")
     part.add_argument("--json", action="store_true",
                       help="print the typed result as JSON")
     part.set_defaults(fn=_cmd_partition)
+
+    recover = sub.add_parser(
+        "recover", help="rebuild a session from its WAL directory"
+    )
+    recover.add_argument("--wal-dir", required=True,
+                         help="directory written by a durable session")
+    recover.add_argument("--out", help="write a portable snapshot here")
+    recover.add_argument("--json", action="store_true",
+                         help="print the typed report as JSON")
+    recover.set_defaults(fn=_cmd_recover)
 
     retract = sub.add_parser(
         "retract", help="delete vertices/edges from a snapshotted cluster"

@@ -21,7 +21,7 @@ back to back in this order)::
              distinct labels in first-use order
     codes    uint32 column, |V| entries: per-vertex label-table index
     edges    uint64 column, |E| entries: packed positional edge ids
-             ``(min_pos << 32) | max_pos`` in edge-iteration order
+             ``(min_pos << 32) | max_pos``, ascending
     parts    int32 column, |V| entries: partition per position
              (``-1`` = unassigned)
     replicas uint64 column: packed ``(pos << 32) | partition`` pairs,
@@ -158,6 +158,11 @@ def encode_columns(store: "DistributedGraphStore") -> bytes:
         if iu > iv:
             iu, iv = iv, iu
         edge_ids.append((iu << POSITION_SHIFT) | iv)
+    # Canonical order: adjacency lives in hash sets, whose iteration
+    # order depends on insertion *history* -- two stores holding the
+    # same edges after different histories (live session vs checkpoint
+    # restore + WAL replay) must still encode identical bytes.
+    edge_ids = array("Q", sorted(edge_ids))
 
     partition_of = store.assignment.partition_of
     parts = array("i")

@@ -65,6 +65,13 @@ class DistributedGraphStore:
         self._journal: list[tuple] | None = None
         self._journal_limit = 0
         self._journal_overflow = False
+        #: Optional durability hook ``hook(op, tick)`` invoked with each
+        #: effective mutation right after it is applied (the WAL layer
+        #: subscribes; ``None`` costs nothing).  Non-versioned events use
+        #: the out-of-band tags ``"c"`` (capacity grow, idempotent on
+        #: replay) and ``"!"`` (journal-inexpressible barrier: replay
+        #: must stop and fall back to the next checkpoint).
+        self.wal_hook = None
 
     @classmethod
     def incremental(cls, k: int, capacity: int) -> "DistributedGraphStore":
@@ -95,16 +102,18 @@ class DistributedGraphStore:
         """Tick the version and journal one effective mutation."""
         self._ticks += 1
         journal = self._journal
-        if journal is None or self._journal_overflow:
-            return
-        if len(journal) >= self._journal_limit:
-            # Past the limit a delta would not be "compact" any more;
-            # empty the log (free the memory) and let the reader fall
-            # back to a full snapshot at the next publication.
-            journal.clear()
-            self._journal_overflow = True
-            return
-        journal.append(op)
+        if journal is not None and not self._journal_overflow:
+            if len(journal) >= self._journal_limit:
+                # Past the limit a delta would not be "compact" any
+                # more; empty the log (free the memory) and let the
+                # reader fall back to a full snapshot at the next
+                # publication.
+                journal.clear()
+                self._journal_overflow = True
+            else:
+                journal.append(op)
+        if self.wal_hook is not None:
+            self.wal_hook(op, self._ticks)
 
     def enable_journal(self, limit: int) -> None:
         """Start journalling mutations (for delta refresh), keeping at
@@ -140,9 +149,58 @@ class DistributedGraphStore:
             return None
         return tuple(self._journal)
 
+    def apply_op(self, op: tuple) -> None:
+        """Replay one journalled op through the public mutators.
+
+        Shared by delta refresh (:func:`repro.runtime.worker.apply_delta`)
+        and WAL recovery (:mod:`repro.runtime.wal`): replay goes through
+        the same code paths as the original mutation, so a replica that
+        was byte-equivalent before the op is byte-equivalent after it.
+        An unknown tag raises (protocol mismatch -- never silently skip
+        state).
+        """
+        tag = op[0]
+        if tag == "e+":
+            self.add_edge(op[1], op[2])
+        elif tag == "e-":
+            self.remove_edge(op[1], op[2])
+        elif tag == "v+":
+            self.add_vertex(op[1], op[2])
+        elif tag == "v-":
+            self.remove_vertex(op[1])
+        elif tag == "a":
+            self.assign_vertex(op[1], op[2])
+        elif tag == "p-":
+            self.retract_assignment(op[1])
+        elif tag == "m":
+            self.move_vertex(op[1], op[2])
+        elif tag == "r+":
+            self.add_replica(op[1], op[2])
+        elif tag == "r0":
+            self.clear_replicas()
+        elif tag == "c":
+            self.grow_capacity(op[1])
+        else:
+            raise ValueError(f"unknown op tag {tag!r}")
+
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
+    def grow_capacity(self, capacity: int) -> None:
+        """Raise the assignment's per-partition capacity ceiling.
+
+        Not a versioned mutation (ticks stay put -- resident replicas
+        need no refresh for a larger bound), but the WAL records it so
+        recovery replays later placements under the right ceiling.
+        Shrinking is a no-op: replayed grow ops are idempotent whatever
+        prefix of the log survives.
+        """
+        if capacity <= self.assignment.capacity:
+            return
+        self.assignment.grow_capacity(capacity)
+        if self.wal_hook is not None:
+            self.wal_hook(("c", capacity), self._ticks)
+
     def add_vertex(self, vertex: Vertex, label: Label) -> None:
         """Record a newly arrived (not yet assigned) vertex.
 
@@ -225,6 +283,11 @@ class DistributedGraphStore:
         if self._journal is not None:
             self._journal.clear()
             self._journal_overflow = True
+        if self.wal_hook is not None:
+            # The swap has no op form; log a barrier so recovery knows
+            # the tail beyond it cannot be replayed (the session
+            # checkpoints immediately after adopting).
+            self.wal_hook(("!",), self._ticks)
 
     @property
     def is_complete(self) -> bool:

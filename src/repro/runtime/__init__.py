@@ -33,6 +33,7 @@ from repro.runtime.executor import (
     ShardedExecutor,
     run_sharded_workload,
 )
+from repro.runtime.faults import FAULT_KINDS, FaultPlan, WorkerFault
 from repro.runtime.mailbox import (
     DeltaRefresh,
     MailboxClosedError,
@@ -57,27 +58,42 @@ from repro.runtime.snapshot import (
     SnapshotSchemaError,
     owned_partitions,
 )
+from repro.runtime.wal import (
+    SYNC_POLICIES,
+    DurableLog,
+    RecoveryInfo,
+    WriteAheadLog,
+    recover_store,
+)
 from repro.runtime.worker import apply_delta
 
 __all__ = [
     "DeltaRefresh",
+    "DurableLog",
+    "FAULT_KINDS",
     "FanoutStats",
+    "FaultPlan",
     "MailboxClosedError",
     "MailboxTimeoutError",
     "QueryPayload",
+    "RecoveryInfo",
     "SHARD_SNAPSHOT_SCHEMA",
     "START_METHODS",
+    "SYNC_POLICIES",
     "SegmentRegistry",
     "ShardSnapshot",
     "ShardedExecutor",
     "SharedSnapshotRef",
     "SnapshotSchemaError",
     "WorkerCrashError",
+    "WorkerFault",
     "WorkerHandle",
     "WorkerPool",
+    "WriteAheadLog",
     "apply_delta",
     "attach_store",
     "owned_partitions",
+    "recover_store",
     "run_sharded_workload",
     "segment_exists",
 ]

@@ -89,6 +89,8 @@ class WorkerPool:
         start_method: str = "spawn",
         timeout: float = 60.0,
         shared_memory: bool = True,
+        fault_plan=None,
+        generation: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -104,6 +106,9 @@ class WorkerPool:
         workers = min(workers, snapshot.k)
         self.timeout = timeout
         self.version = snapshot.version
+        #: Which spawn this pool is in its session's lifetime (0 = the
+        #: first); fault-plan entries arm only in their own generation.
+        self.generation = generation
         self._request_id = 0
         self._closed = False
         self._shared_memory = shared_memory
@@ -121,9 +126,14 @@ class WorkerPool:
             for worker_id in range(workers):
                 parent_end, child_end = context.Pipe(duplex=True)
                 partitions = owned_partitions(snapshot.k, workers, worker_id)
+                faults = (
+                    fault_plan.for_worker(worker_id, generation)
+                    if fault_plan is not None
+                    else ()
+                )
                 process = context.Process(
                     target=worker_main,
-                    args=(worker_id, child_end, source, partitions),
+                    args=(worker_id, child_end, source, partitions, faults),
                     name=f"repro-shard-worker-{worker_id}",
                     daemon=True,
                 )

@@ -8,17 +8,134 @@ exits non-zero if any report diverges by a single field, a worker
 misbehaves, the shared-memory/delta plumbing is bypassed, a segment
 outlives the session, or shutdown leaves a process behind -- the fast
 regression tripwire for worker-process breakage on shared runners.
+
+A second stage smokes durability the hard way: a child process ingests
+under a write-ahead log and ``kill -9``s itself mid-churn, then
+``Cluster.recover`` rebuilds a live session from the directory, runs
+the workload serially and in parallel, and the stage fails on any
+divergence -- or on a single ``/dev/shm`` segment outliving it.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import subprocess
 import sys
+import tempfile
 
 from repro.api import Cluster, ClusterConfig, WorkerConfig
 from repro.bench.experiments import _motif_testbed
 from repro.runtime.shm import segment_exists
 
 WORKERS = 2
+
+#: Self-SIGKILL mid-churn under WAL durability (run in a subprocess):
+#: the ingest completes (so the recovered assignment is queryable), then
+#: the crash lands between retraction mutations -- no close, no flush
+#: hook, the WAL tail is whatever the page cache got.
+_CRASH_CHILD = """
+import os, signal, sys
+from repro.api import Cluster, ClusterConfig, DurabilityConfig
+from repro.bench.experiments import _motif_testbed
+
+graph, workload = _motif_testbed(0, instances=15, noise=40)
+session = Cluster.open(
+    ClusterConfig(
+        partitions=4, method="ldg", seed=0, batch_size=8,
+        durability=DurabilityConfig(
+            mode="wal", wal_dir=sys.argv[1], checkpoint_interval=32,
+        ),
+    ),
+    workload=workload,
+)
+session.ingest(graph)
+for count, vertex in enumerate(list(session.graph.vertices())):
+    session.retract(vertices=[vertex])
+    if count >= 5:
+        os.kill(os.getpid(), signal.SIGKILL)
+sys.exit(3)  # unreachable unless the kill failed to fire
+"""
+
+
+def crash_recovery_smoke(start_method: str) -> int:
+    """Kill -9 a durable ingest, recover, and prove the cluster serves
+    parallel queries again -- without leaking a single shm segment."""
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-wal-") as scratch:
+        wal_dir = os.path.join(scratch, "wal")
+        child = subprocess.run(
+            [sys.executable, "-c", _CRASH_CHILD, wal_dir],
+            env=dict(os.environ),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if child.returncode != -signal.SIGKILL:
+            print(
+                f"FAIL: crash child exited {child.returncode} "
+                f"(wanted SIGKILL)\n{child.stderr}",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.runtime.wal import DurableLog
+
+        persisted = DurableLog.read_config(wal_dir)
+        if not persisted or persisted.get("partitions") != 4:
+            print(
+                f"FAIL: wal_dir config.json missing or wrong: {persisted}",
+                file=sys.stderr,
+            )
+            return 1
+        graph, workload = _motif_testbed(0, instances=15, noise=40)
+        session = Cluster.recover(
+            wal_dir,
+            workload=workload,
+            config=ClusterConfig(
+                partitions=4,
+                method="ldg",
+                seed=0,
+                batch_size=8,
+                worker=WorkerConfig(
+                    count=WORKERS,
+                    start_method=start_method,
+                    request_timeout=120.0,
+                    fallback_serial=False,
+                ),
+            ),
+        )
+        try:
+            info = session.recovery
+            serial = session.run_workload(executions=40, seed=3, workers=1)
+            parallel = session.run_workload(
+                executions=40, seed=3, workers=WORKERS
+            )
+            pool = session.pool
+            segment_names = (
+                list(pool.segments.history) if pool is not None else []
+            )
+            if serial != parallel:
+                print(
+                    f"FAIL: recovered-cluster parallel report diverged\n"
+                    f"  serial:   {serial}\n  parallel: {parallel}",
+                    file=sys.stderr,
+                )
+                return 1
+        finally:
+            session.close()
+        leaked = [name for name in segment_names if segment_exists(name)]
+        if leaked:
+            print(
+                f"FAIL: recovered cluster leaked segments: {leaked}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"crash-recovery smoke ok ({start_method}; killed mid-churn, "
+            f"recovered tick {info.recovered_ticks} from checkpoint "
+            f"{info.checkpoint_ticks} + {info.replayed_ops} ops, "
+            f"parallel parity held)"
+        )
+    return 0
 
 
 def main(start_method: str = "spawn") -> int:
@@ -107,7 +224,7 @@ def main(start_method: str = "spawn") -> int:
         f"shm={pool.uses_shared_memory} delta_refreshes="
         f"{pool.delta_refreshes} segments_reaped={len(segment_names)})"
     )
-    return 0
+    return crash_recovery_smoke(start_method)
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ traceback; the worker stays alive for the next request.  Only a
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from multiprocessing.connection import Connection
@@ -54,7 +55,12 @@ from repro.runtime.mailbox import (
     RefreshResponse,
     Shutdown,
 )
+from repro.runtime.faults import HANG_SECONDS, WorkerFault
 from repro.runtime.shm import SharedSnapshotRef, attach_store
+
+#: Exit code of a scripted boot/kill fault -- distinguishable from a
+#: genuine interpreter crash in worker post-mortems.
+FAULT_EXIT_CODE = 73
 
 
 def _boot_store(source) -> tuple[DistributedGraphStore, int]:
@@ -67,34 +73,16 @@ def _boot_store(source) -> tuple[DistributedGraphStore, int]:
 def apply_delta(store: DistributedGraphStore, delta: DeltaRefresh) -> None:
     """Replay a coordinator mutation log into ``store`` in place.
 
-    Every op goes through the store's public mutators, so the replica's
-    derived orders evolve exactly as the coordinator's did.  An unknown
-    tag raises (protocol mismatch -- never silently skip state).
+    Every op goes through the store's own mutators
+    (:meth:`~repro.cluster.store.DistributedGraphStore.apply_op`), so
+    the replica's derived orders evolve exactly as the coordinator's
+    did.  An unknown tag raises (protocol mismatch -- never silently
+    skip state).
     """
     if delta.capacity > store.assignment.capacity:
         store.assignment.grow_capacity(delta.capacity)
     for op in delta.ops:
-        tag = op[0]
-        if tag == "e+":
-            store.add_edge(op[1], op[2])
-        elif tag == "e-":
-            store.remove_edge(op[1], op[2])
-        elif tag == "v+":
-            store.add_vertex(op[1], op[2])
-        elif tag == "v-":
-            store.remove_vertex(op[1])
-        elif tag == "a":
-            store.assign_vertex(op[1], op[2])
-        elif tag == "p-":
-            store.retract_assignment(op[1])
-        elif tag == "m":
-            store.move_vertex(op[1], op[2])
-        elif tag == "r+":
-            store.add_replica(op[1], op[2])
-        elif tag == "r0":
-            store.clear_replicas()
-        else:
-            raise ValueError(f"unknown delta op tag {tag!r}")
+        store.apply_op(op)
 
 
 def execute_request(
@@ -175,21 +163,53 @@ def _handle_refresh(
     )
 
 
+def _boot_fault(faults: tuple[WorkerFault, ...], source) -> None:
+    """Fire any scripted boot-time fault before the handshake."""
+    for fault in faults:
+        if fault.kind == "shm_attach" and isinstance(
+            source, SharedSnapshotRef
+        ):
+            # Stand-in for a failed shm_open/mmap: die before Hello so
+            # the parent's handshake times out / sees a dead pipe.
+            os._exit(FAULT_EXIT_CODE)
+
+
+def _message_fault(
+    faults: tuple[WorkerFault, ...],
+    fired: set[int],
+    message_count: int,
+) -> WorkerFault | None:
+    """The scripted fault (if any) due at this request, at most once."""
+    for index, fault in enumerate(faults):
+        if index in fired or fault.kind == "shm_attach":
+            continue
+        if fault.at_message == message_count:
+            fired.add(index)
+            return fault
+    return None
+
+
 def worker_main(
     worker_id: int,
     connection: Connection,
     source,
     partitions: tuple[int, ...],
+    faults: tuple[WorkerFault, ...] = (),
 ) -> None:
     """Process entry point: materialise the shard, serve the mailbox.
 
     ``source`` is a :class:`~repro.runtime.snapshot.ShardSnapshot`
     (inline payload) or a :class:`~repro.runtime.shm.SharedSnapshotRef`
-    (attach-and-decode).
+    (attach-and-decode).  ``faults`` is this worker's slice of the
+    session's :class:`~repro.runtime.faults.FaultPlan` (empty outside
+    fault-injection tests).
     """
+    _boot_fault(faults, source)
     began = time.perf_counter()
     store, resident_version = _boot_store(source)
     owned = frozenset(partitions)
+    message_count = 0
+    fired: set[int] = set()
     try:
         connection.send(
             Hello(worker_id, partitions, time.perf_counter() - began)
@@ -201,6 +221,22 @@ def worker_main(
                 break
             if isinstance(message, Shutdown):
                 break
+            message_count += 1
+            fault = _message_fault(faults, fired, message_count)
+            if fault is not None:
+                if fault.kind == "kill":
+                    os._exit(FAULT_EXIT_CODE)
+                elif fault.kind == "hang":
+                    # Outlive the parent's request timeout; any late
+                    # reply after the nap lands in a closed pipe (the
+                    # undrained-response poison the pool guards
+                    # against by never reusing a timed-out mailbox).
+                    time.sleep(fault.delay or HANG_SECONDS)
+                elif fault.kind == "corrupt":
+                    connection.send(("corrupt-payload", worker_id))
+                    continue
+                elif fault.kind == "slow":
+                    time.sleep(fault.delay)
             try:
                 if isinstance(message, RefreshRequest):
                     store, resident_version, response = _handle_refresh(

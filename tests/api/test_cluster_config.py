@@ -105,6 +105,9 @@ class TestWorkerConfig:
             "refresh_mode": "delta",
             "shared_memory": True,
             "max_delta_events": 8192,
+            "max_retries": 2,
+            "retry_backoff": 0.05,
+            "fault_plan": None,
         }
         rebuilt = ClusterConfig.from_dict(payload)
         assert rebuilt == config

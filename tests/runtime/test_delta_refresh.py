@@ -292,7 +292,7 @@ class TestApplyDelta:
             from_version=0, to_version=1,
             capacity=store.assignment.capacity, ops=(("??", 1),),
         )
-        with pytest.raises(ValueError, match="unknown delta op"):
+        with pytest.raises(ValueError, match="unknown op tag"):
             apply_delta(clone, bogus)
 
 

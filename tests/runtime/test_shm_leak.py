@@ -195,7 +195,7 @@ class TestPoolLifecycle:
                 super().__init__()
                 registries.append(self)
 
-        def broken_worker_main(worker_id, connection, source, partitions):
+        def broken_worker_main(worker_id, connection, *args):
             connection.close()
 
         monkeypatch.setattr(pool_module, "SegmentRegistry", SpyRegistry)
