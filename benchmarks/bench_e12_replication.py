@@ -15,7 +15,7 @@ def test_e12_replication(run_and_show):
         rows = sorted(rows_by(table, method=method), key=lambda r: r["budget"])
         probabilities = [row["p_remote"] for row in rows]
         # More replicas never hurt (weakly monotone improvement).
-        for before, after in zip(probabilities, probabilities[1:]):
+        for before, after in zip(probabilities, probabilities[1:], strict=False):
             assert after <= before + 0.02
     zero_budget_loom = rows_by(table, method="loom", budget=0)[0]["p_remote"]
     max_budget = max(row["budget"] for row in table.rows)

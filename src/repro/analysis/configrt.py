@@ -1,0 +1,167 @@
+"""CFG: config serialisation round-trips.
+
+Session snapshots and the WAL's ``config.json`` persist
+``ClusterConfig`` (and everything nested in it) through the
+``as_dict``/``from_dict`` pair.  A field that one side of the pair
+forgets is a knob that silently resets on restore -- the failure is
+invisible until a recovered cluster behaves differently from the one
+that crashed.  These rules read every ``@dataclass`` in the config
+modules (``api/config.py``, ``runtime/faults.py``) and prove the pair
+covers every field:
+
+``CFG001``
+    ``as_dict`` neither delegates to :func:`dataclasses.asdict` nor
+    names every field as a key: at least one field is dropped on write.
+``CFG002``
+    ``from_dict`` neither forwards ``**payload`` to the constructor nor
+    names every field: at least one field can never be restored.
+``CFG003``
+    ``from_dict`` silently ignores unknown keys (no
+    ``__dataclass_fields__`` guard and no ``cls(**payload)``, which
+    rejects them naturally): a typo'd key would vanish instead of
+    raising.
+``CFG004``
+    A dataclass with only one half of the ``as_dict``/``from_dict``
+    pair: a value that serialises but cannot be restored (or vice
+    versa).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    SourceModule,
+    SourceTree,
+    dataclass_classes,
+    dataclass_fields,
+    register,
+    string_literals,
+)
+from repro.analysis.findings import Finding
+
+CONFIG_MODULES = ("api/config.py", "runtime/faults.py")
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _calls_named(func: ast.FunctionDef, name: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Name) and target.id == name:
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == name:
+                return True
+    return False
+
+
+def _constructor_coverage(func: ast.FunctionDef) -> tuple[bool, set[str]]:
+    """(forwards ``**payload``, keyword names) of ``cls(...)`` calls."""
+    forwards = False
+    keywords: set[str] = set()
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "cls"
+        ):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                forwards = True
+            else:
+                keywords.add(keyword.arg)
+    return forwards, keywords
+
+
+def _mentions_fields_guard(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and node.attr in {
+            "__dataclass_fields__",
+            "__slots__",
+        }:
+            return True
+    return False
+
+
+def _check_class(
+    module: SourceModule, cls: ast.ClassDef
+) -> Iterator[Finding]:
+    fields = dataclass_fields(cls)
+    as_dict = _method(cls, "as_dict")
+    from_dict = _method(cls, "from_dict")
+    if as_dict is None and from_dict is None:
+        return  # not a serialised value object; nothing to round-trip
+    if as_dict is None or from_dict is None:
+        have, miss = (
+            ("as_dict", "from_dict") if from_dict is None
+            else ("from_dict", "as_dict")
+        )
+        if not module.is_suppressed(cls.lineno, "CFG004"):
+            yield Finding(
+                "CFG004",
+                module.rel,
+                cls.lineno,
+                f"{cls.name} defines {have} without {miss}: half a "
+                "round-trip",
+            )
+        return
+
+    if not _calls_named(as_dict, "asdict"):
+        literals = string_literals(as_dict)
+        missing = [name for name in fields if name not in literals]
+        if missing and not module.is_suppressed(as_dict.lineno, "CFG001"):
+            yield Finding(
+                "CFG001",
+                module.rel,
+                as_dict.lineno,
+                f"{cls.name}.as_dict drops field(s) "
+                f"{', '.join(sorted(missing))}: they will not survive a "
+                "snapshot",
+            )
+
+    forwards, keywords = _constructor_coverage(from_dict)
+    if not forwards:
+        literals = string_literals(from_dict)
+        missing = [
+            name
+            for name in fields
+            if name not in literals and name not in keywords
+        ]
+        if missing and not module.is_suppressed(from_dict.lineno, "CFG002"):
+            yield Finding(
+                "CFG002",
+                module.rel,
+                from_dict.lineno,
+                f"{cls.name}.from_dict never restores field(s) "
+                f"{', '.join(sorted(missing))}: they silently reset on "
+                "restore",
+            )
+    if not forwards and not _mentions_fields_guard(from_dict):
+        if not module.is_suppressed(from_dict.lineno, "CFG003"):
+            yield Finding(
+                "CFG003",
+                module.rel,
+                from_dict.lineno,
+                f"{cls.name}.from_dict ignores unknown keys: a typo'd "
+                "field vanishes instead of raising (forward **payload "
+                "or check against __dataclass_fields__)",
+            )
+
+
+@register("CFG", "config round-trip: as_dict/from_dict field coverage "
+                 "and unknown-key rejection")
+def check_config_roundtrip(tree: SourceTree) -> Iterator[Finding]:
+    for suffix in CONFIG_MODULES:
+        module = tree.find(suffix)
+        if module is None or module.tree is None:
+            continue
+        for cls in dataclass_classes(module):
+            yield from _check_class(module, cls)

@@ -1,0 +1,279 @@
+"""DET: the determinism lint.
+
+Twice this repo shipped a nondeterminism bug that only a differential
+harness caught: PR 2's canonical-form palette ordered colour classes by
+iteration-ordered ids, and PR 7's ``export_columns`` emitted edge ids in
+hash-set adjacency order.  Both were *set-iteration order flowing into a
+byte-exact encoding*.  These rules catch that class at lint time:
+
+``DET001``
+    A call into the module-global :mod:`random` generator
+    (``random.shuffle``, ``random.random``, ...).  Every random draw in
+    this repo must flow from a seeded ``random.Random`` instance -- the
+    global generator is shared, unseeded state.
+``DET002``
+    Wall-clock reads (``time.time``, ``datetime.now``) outside
+    :mod:`repro.bench`.  Durations belong to ``perf_counter`` /
+    ``process_time``; wall-clock values leaking into state or encodings
+    are unreproducible by construction.
+``DET003``
+    Inside an order-sensitive *sink* function (name matching export /
+    encode / canonical / serialise), iteration over a value of set type
+    -- ``set()`` / ``frozenset()`` literals and comprehensions, the
+    graph API's known set returns (``neighbours``, ``replicas_of``,
+    ``edges``, ``labels``), set unions -- that reaches an ordered
+    output (a ``for`` loop that emits, a list, a tuple, a dict) without
+    an intervening ``sorted()``.  Order-insensitive consumers
+    (``sorted``, ``min``/``max``/``sum``/``len``/``any``/``all``,
+    membership tests, building another set) are fine, as is a loop that
+    only accumulates into lists that are themselves sorted afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    SourceModule,
+    SourceTree,
+    call_name,
+    dotted_name,
+    parent_map,
+    register,
+)
+from repro.analysis.findings import Finding
+
+#: ``random`` module functions that read or mutate the global generator.
+#: ``Random``/``SystemRandom`` construction is the sanctioned alternative.
+_GLOBAL_RANDOM = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Wall-clock reads (``perf_counter``/``process_time``/``monotonic`` are
+#: durations, not identity, and stay legal).  Matched as dotted-path
+#: suffixes so both ``datetime.now`` and ``datetime.datetime.now`` hit.
+_WALL_CLOCK = ("time.time", "datetime.now", "datetime.utcnow", "date.today")
+
+#: Function-name fragments that mark an order-sensitive sink: anything
+#: that exports, encodes or canonicalises state into an ordered payload.
+_SINK_FRAGMENTS = (
+    "export", "encode", "canonical", "serialise", "serialize", "to_wire",
+)
+
+#: Repo APIs that return set-typed (iteration-order-unstable) values.
+#: ``edges()`` is here deliberately: it walks hash-set adjacency, so its
+#: order depends on each vertex's insertion/deletion *history*.
+_UNORDERED_CALLS = frozenset({
+    "set", "frozenset", "neighbours", "replicas_of", "edges", "labels",
+    "difference", "union", "intersection", "symmetric_difference",
+})
+
+#: Consumers that do not care about iteration order.
+_ORDER_FREE_CALLS = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set",
+    "frozenset", "Counter",
+})
+
+
+def _is_sink(name: str) -> bool:
+    return any(fragment in name for fragment in _SINK_FRAGMENTS)
+
+
+class _UnorderedTyping:
+    """Decides whether an expression is set-typed inside one function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        # One linear pass over simple local assignments: a name bound to
+        # an unordered expression is unordered until re-bound.
+        self.unordered_names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self.is_unordered(node.value):
+                        self.unordered_names.add(target.id)
+                    else:
+                        self.unordered_names.discard(target.id)
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            return call_name(node.func) in _UNORDERED_CALLS
+        if isinstance(node, ast.Name):
+            return node.id in self.unordered_names
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr,
+                                                                ast.BitAnd,
+                                                                ast.Sub)):
+            return self.is_unordered(node.left) or self.is_unordered(
+                node.right
+            )
+        if isinstance(node, ast.IfExp):
+            return self.is_unordered(node.body) or self.is_unordered(
+                node.orelse
+            )
+        return False
+
+
+def _sorted_later(func: ast.AST, names: set[str]) -> set[str]:
+    """The subset of ``names`` that some statement in ``func`` sorts
+    (``sorted(name)`` / ``name.sort()``)."""
+    sorted_names: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id in names:
+                    sorted_names.add(arg.id)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in names
+        ):
+            sorted_names.add(node.func.value.id)
+    return sorted_names
+
+
+def _loop_is_sanitised(loop: ast.For, func: ast.AST) -> bool:
+    """A loop over an unordered iterable is harmless when every ordered
+    thing it builds is sorted afterwards.
+
+    Accepted body shapes: ``x.append(...)`` into lists that the function
+    later sorts, ``x.add``/``x.update`` into sets, plain assignments and
+    conditionals.  Anything else that can leak order out of the loop
+    (``yield``, building dict entries, writes, nested emission calls)
+    keeps the loop flagged.
+    """
+    appended: set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Return)):
+            return False
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Store
+        ):
+            return False
+        if isinstance(node, ast.Call):
+            attr = node.func
+            if isinstance(attr, ast.Attribute):
+                if attr.attr == "append" and isinstance(attr.value, ast.Name):
+                    appended.add(attr.value.id)
+                elif attr.attr in {"add", "update", "discard", "setdefault"}:
+                    continue
+                elif attr.attr in {"write", "send", "extend"}:
+                    return False
+    if not appended:
+        # Nothing ordered escapes the loop body.
+        return True
+    return appended <= _sorted_later(func, appended)
+
+
+def _det003_in_function(
+    module: SourceModule,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[Finding]:
+    typing = _UnorderedTyping(func)
+    parents = parent_map(func)
+
+    def order_free_consumer(node: ast.expr) -> bool:
+        """True when ``node``'s immediate consumer ignores order."""
+        parent = parents.get(node)
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return call_name(parent.func) in _ORDER_FREE_CALLS
+        if isinstance(parent, ast.Compare):
+            return True  # membership / equality, not iteration
+        return False
+
+    for node in ast.walk(func):
+        iterable: ast.expr | None = None
+        if isinstance(node, ast.For):
+            iterable = node.iter
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            iterable = node.generators[0].iter
+        if iterable is None or not typing.is_unordered(iterable):
+            continue
+        if isinstance(node, ast.For):
+            if _loop_is_sanitised(node, func):
+                continue
+        else:
+            # A comprehension's output is ordered (list, generator,
+            # dict); it is fine only when immediately consumed by an
+            # order-free call (``sorted(c for c in s)``).
+            if order_free_consumer(node):
+                continue
+        source = ast.unparse(iterable)
+        if len(source) > 48:
+            source = source[:45] + "..."
+        yield Finding(
+            "DET003",
+            module.rel,
+            node.lineno,
+            f"iteration over set-typed {source!r} inside order-sensitive "
+            f"{func.name!r} without an intervening sorted() -- set order "
+            "depends on insertion history and will leak into the "
+            "encoded output (the PR-2/PR-7 bug class)",
+        )
+
+
+@register("DET", "determinism lint: global randomness, wall clock, "
+                 "unordered iteration into encodings")
+def check_determinism(tree: SourceTree) -> Iterator[Finding]:
+    for module in tree:
+        if module.tree is None:
+            continue
+        in_bench = "bench/" in module.rel or module.rel.startswith("bench")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RANDOM:
+                        if not module.is_suppressed(node.lineno, "DET001"):
+                            yield Finding(
+                                "DET001",
+                                module.rel,
+                                node.lineno,
+                                f"'from random import {alias.name}' binds "
+                                "the unseeded module-global generator; "
+                                "thread a seeded random.Random through "
+                                "instead",
+                            )
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                head, _, attr = dotted.rpartition(".")
+                if head == "random" and attr in _GLOBAL_RANDOM:
+                    if not module.is_suppressed(node.lineno, "DET001"):
+                        yield Finding(
+                            "DET001",
+                            module.rel,
+                            node.lineno,
+                            f"'random.{attr}' draws from the unseeded "
+                            "module-global generator; thread a seeded "
+                            "random.Random through instead",
+                        )
+                if not in_bench and any(
+                    dotted == clock or dotted.endswith("." + clock)
+                    for clock in _WALL_CLOCK
+                ):
+                    if not module.is_suppressed(node.lineno, "DET002"):
+                        yield Finding(
+                            "DET002",
+                            module.rel,
+                            node.lineno,
+                            f"'{dotted}' reads the wall clock in a "
+                            "deterministic path; use perf_counter/"
+                            "process_time for durations",
+                        )
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and _is_sink(node.name):
+                for finding in _det003_in_function(module, node):
+                    if not module.is_suppressed(finding.line, finding.code):
+                        yield finding

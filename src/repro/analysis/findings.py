@@ -1,0 +1,38 @@
+"""The finding model shared by every checker.
+
+A :class:`Finding` is one rule violation pinned to a file and line.
+Findings are plain frozen dataclasses so the runner can sort, dedupe and
+serialise them without knowing which checker produced them; ``as_dict``
+is the JSON shape the CI gate consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation: ``code`` at ``path:line``."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def sort_key(finding: Finding) -> tuple[str, int, str]:
+    """Stable report order: by file, then line, then code."""
+    return (finding.path, finding.line, finding.code)

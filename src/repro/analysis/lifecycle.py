@@ -1,0 +1,194 @@
+"""RES: resource lifecycle discipline for shm segments, WALs and pools.
+
+PR 6/7 taught this repo that shared-memory segments and WAL file handles
+leak on exactly the teardown paths nobody exercises.  The discipline
+that emerged -- every segment owned by one ``SegmentRegistry``, every
+pool owned by the session, unlink-on-close on *all* paths -- is encoded
+here so new code cannot quietly bypass it:
+
+``RES001``
+    ``multiprocessing.shared_memory.SharedMemory`` constructed outside
+    ``runtime/shm.py``.  All segment creation and attachment goes
+    through the registry/attach helpers, which guarantee
+    unlink-on-close on every teardown path (including crash degradation
+    and failed spawns).
+``RES002``
+    A lifecycle-owning class (``WorkerPool``, ``WriteAheadLog``,
+    ``DurableLog``, ``SegmentRegistry``) constructed outside its owning
+    module(s), except as a ``with`` context manager (whose ``__exit__``
+    closes it on every path).
+``RES003``
+    Inside the owning modules: a local name bound to an acquisition
+    (``SharedMemory(...)``, ``open(...)``, ``WriteAheadLog(...)``)
+    that is neither closed/unlinked in the same function, stored on the
+    instance/registry, returned to the caller, nor opened via ``with``.
+    An acquisition that only *sometimes* reaches ``close()`` is the bug
+    class this rule exists for, so closes inside ``finally``/``except``
+    count like any other -- the rule demands at least one explicit
+    release path or an ownership transfer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    SourceModule,
+    SourceTree,
+    call_name,
+    register,
+)
+from repro.analysis.findings import Finding
+
+#: class/callable -> module suffixes allowed to construct it directly.
+_OWNERS: dict[str, tuple[str, ...]] = {
+    "SharedMemory": ("runtime/shm.py",),
+    "WriteAheadLog": ("runtime/wal.py",),
+    "DurableLog": ("runtime/wal.py", "api/session.py"),
+    "WorkerPool": ("runtime/pool.py", "api/session.py"),
+    "SegmentRegistry": ("runtime/shm.py", "runtime/pool.py"),
+}
+
+#: Acquisitions whose bound name must reach a release in-function.
+_ACQUIRERS = ("SharedMemory", "open", "WriteAheadLog")
+
+#: Method calls that count as releasing/transferring the resource.
+_RELEASES = {"close", "unlink", "terminate"}
+
+
+def _with_items(module: SourceModule) -> set[int]:
+    """Line numbers of context-manager expressions (``with X(...)``)."""
+    lines: set[int] = set()
+    if module.tree is None:
+        return lines
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    lines.add(sub.lineno if hasattr(sub, "lineno") else 0)
+    return lines
+
+
+def _check_ownership(module: SourceModule) -> Iterator[Finding]:
+    if module.tree is None:
+        return
+    with_lines = _with_items(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node.func)
+        owners = _OWNERS.get(name or "")
+        if owners is None or module.endswith(*owners):
+            continue
+        code = "RES001" if name == "SharedMemory" else "RES002"
+        if code == "RES002" and node.lineno in with_lines:
+            # ``with WorkerPool(...)`` closes on every path: sanctioned.
+            continue
+        if module.is_suppressed(node.lineno, code):
+            continue
+        yield Finding(
+            code,
+            module.rel,
+            node.lineno,
+            f"{name!r} constructed outside its owning module(s) "
+            f"{', '.join(owners)}"
+            + (
+                "" if code == "RES001"
+                else " and not as a 'with' context manager"
+            )
+            + "; lifecycle guarantees (unlink/close on all teardown "
+            "paths) only hold inside the owners",
+        )
+
+
+def _released_names(func: ast.AST) -> set[str]:
+    released: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASES
+            and isinstance(node.func.value, ast.Name)
+        ):
+            released.add(node.func.value.id)
+    return released
+
+
+def _transferred_names(func: ast.AST) -> set[str]:
+    """Names handed off: returned, stored on an attribute/subscript,
+    yielded, or passed into a registry/constructor call."""
+    transferred: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Return, ast.Yield)) and isinstance(
+            node.value, ast.Name
+        ):
+            transferred.add(node.value.id)
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            ) and isinstance(node.value, ast.Name):
+                transferred.add(node.value.id)
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    transferred.add(arg.id)
+    return transferred
+
+
+def _check_pairing(module: SourceModule) -> Iterator[Finding]:
+    if module.tree is None:
+        return
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        acquisitions: list[tuple[str, int, str]] = []
+        with_bound: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        with_bound.add(item.optional_vars.id)
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if isinstance(value, ast.Call):
+                    acquired = call_name(value.func)
+                    if acquired in _ACQUIRERS:
+                        if isinstance(target, ast.Name):
+                            acquisitions.append(
+                                (target.id, node.lineno, acquired)
+                            )
+                        # ``self._file = open(...)`` transfers ownership
+                        # to the instance: the class's close() owns it.
+        if not acquisitions:
+            continue
+        released = _released_names(func)
+        transferred = _transferred_names(func)
+        for name, line, acquired in acquisitions:
+            if name in released or name in transferred or name in with_bound:
+                continue
+            if module.is_suppressed(line, "RES003"):
+                continue
+            yield Finding(
+                "RES003",
+                module.rel,
+                line,
+                f"{acquired}(...) bound to {name!r} is never closed, "
+                "unlinked, registered or returned in "
+                f"{func.name!r}: a leak on at least one path "
+                "(use 'with', call close() in a finally, or transfer "
+                "ownership to a registry)",
+            )
+
+
+@register("RES", "resource lifecycle: shm/WAL/pool construction ownership "
+                 "and acquire/release pairing")
+def check_lifecycle(tree: SourceTree) -> Iterator[Finding]:
+    for module in tree:
+        yield from _check_ownership(module)
+        if module.endswith(
+            "runtime/shm.py", "runtime/wal.py", "runtime/pool.py"
+        ):
+            yield from _check_pairing(module)

@@ -21,15 +21,6 @@ from repro.bench.harness import evaluate_assignment, partition_with
 from repro.bench.tables import Table
 from repro.cluster import DistributedGraphStore, run_workload
 from repro.core import LoomConfig, LoomPartitioner, TraversalAwareLDG
-from repro.graph import LabelledGraph, canonical_form, is_isomorphic
-from repro.graph.generators import (
-    barabasi_albert,
-    erdos_renyi,
-    planted_partition,
-    plant_motifs,
-    watts_strogatz,
-)
-from repro.graph.views import edge_subgraph
 from repro.datasets import (
     churn_stream,
     churn_workload,
@@ -42,6 +33,15 @@ from repro.datasets import (
     social_network,
     social_workload,
 )
+from repro.graph import LabelledGraph, canonical_form, is_isomorphic
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    plant_motifs,
+    planted_partition,
+    watts_strogatz,
+)
+from repro.graph.views import edge_subgraph
 from repro.partitioning import partition_stream
 from repro.partitioning.base import default_capacity
 from repro.signatures import SignatureScheme

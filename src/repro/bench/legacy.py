@@ -28,11 +28,11 @@ from dataclasses import dataclass
 from repro.core.config import LoomConfig
 from repro.core.loom import LoomPartitioner
 from repro.core.traversal_aware import TraversalAwareLDG
-from repro.partitioning.streaming import choose_partition_for_group
 from repro.exceptions import StreamError
 from repro.graph.isomorphism import is_isomorphic
 from repro.graph.labelled import Edge, Label, LabelledGraph, Vertex, edge_key
 from repro.graph.views import edge_subgraph
+from repro.partitioning.streaming import choose_partition_for_group
 from repro.stream.events import EdgeArrival, StreamEvent, VertexArrival
 from repro.stream.window import WindowedVertex
 from repro.tpstry.node import TPSTryNode

@@ -110,7 +110,7 @@ def ascii_bar_chart(
         return out.getvalue()
     peak = max(values) or 1.0
     label_width = max(len(label) for label in labels)
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         bar = "#" * max(0, round(width * value / peak))
         out.write(f"{label.ljust(label_width)}  {bar} {value:.4f}\n")
     return out.getvalue()

@@ -14,6 +14,8 @@
     loom-repro rebalance --snapshot c.json --max-moves 20 --out c2.json
     loom-repro bench --out BENCH_PR6.json --baseline BENCH_PR5.json
     loom-repro bench --baseline BENCH_PR6.json --fail-below 0.9
+    loom-repro analyze                   # invariant static analysis
+    loom-repro analyze --select DET,WAL --format json
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -402,6 +404,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import UnknownCheckError, analyze_paths, render_json, render_text
+
+    for path in args.paths:
+        if not Path(path).exists():
+            return _fail(f"no such path: {path!r}")
+    try:
+        findings = analyze_paths(args.paths or None, select=args.select)
+    except UnknownCheckError as error:
+        return _fail(str(error))
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="loom-repro",
@@ -509,6 +528,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit 1 if any headline speedup falls below "
                        "FLOOR times the baseline's (bench-trend CI gate)")
     bench.set_defaults(fn=_cmd_bench)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the repo's invariant-aware static analysis "
+        "(determinism, protocol, lifecycle, WAL coverage, config "
+        "round-trip)",
+    )
+    analyze.add_argument("paths", nargs="*", metavar="PATH",
+                         help="source tree(s) to analyze (default: the "
+                         "installed repro package)")
+    analyze.add_argument("--select", default=None, metavar="CHECK,...",
+                         help="comma-separated check prefixes or codes "
+                         "(DET, PROT, RES, WAL, CFG; default: all)")
+    analyze.add_argument("--format", default="text",
+                         choices=["text", "json"],
+                         help="report format (json is what CI consumes)")
+    analyze.set_defaults(fn=_cmd_analyze)
     return parser
 
 

@@ -40,7 +40,7 @@ import pickle
 import struct
 from array import array
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.store import DistributedGraphStore
@@ -228,7 +228,7 @@ def decode_columns(buffer: bytes | memoryview) -> "DistributedGraphStore":
     if header.flags & FLAG_INT_VERTICES:
         ids = array("q")
         ids.frombytes(take(8 * header.num_vertices))
-        vertices: list = ids.tolist()
+        vertices: list[Any] = ids.tolist()
     else:
         vertices = list(pickle.loads(take(header.vertex_blob_len)))
     if len(vertices) != header.num_vertices:
@@ -257,7 +257,7 @@ def decode_columns(buffer: bytes | memoryview) -> "DistributedGraphStore":
 
     store = DistributedGraphStore.incremental(header.k, header.capacity)
     add_vertex = store.graph.add_vertex
-    for vertex, code in zip(vertices, label_codes):
+    for vertex, code in zip(vertices, label_codes, strict=True):
         add_vertex(vertex, labels[code])
     add_edge = store.graph.add_edge
     for eid in edge_ids:
@@ -265,7 +265,7 @@ def decode_columns(buffer: bytes | memoryview) -> "DistributedGraphStore":
             vertices[eid >> POSITION_SHIFT], vertices[eid & _POSITION_MASK]
         )
     assign = store.assignment.assign
-    for vertex, partition in zip(vertices, parts):
+    for vertex, partition in zip(vertices, parts, strict=True):
         if partition >= 0:
             assign(vertex, partition)
     for pair in replica_pairs:

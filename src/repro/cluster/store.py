@@ -9,7 +9,7 @@ mirroring the vertex-label indexes of property-graph databases.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.exceptions import PartitioningError
 from repro.graph.labelled import Label, LabelledGraph, Vertex
@@ -71,7 +71,7 @@ class DistributedGraphStore:
         #: the out-of-band tags ``"c"`` (capacity grow, idempotent on
         #: replay) and ``"!"`` (journal-inexpressible barrier: replay
         #: must stop and fall back to the next checkpoint).
-        self.wal_hook = None
+        self.wal_hook: Callable[[tuple[Any, ...], int], None] | None = None
 
     @classmethod
     def incremental(cls, k: int, capacity: int) -> "DistributedGraphStore":
@@ -369,7 +369,7 @@ class DistributedGraphStore:
         self._mutated("r+", vertex, partition)
         return True
 
-    def adopt_replica(self, vertex: Vertex, partition: int) -> None:
+    def adopt_replica(self, vertex: Vertex, partition: int) -> None:  # repro: noqa[WAL001] -- rebuild-only path: callers (column decode, import_state) reconstruct a store from an already-journalled snapshot, so re-announcing each entry would double-log it
         """Install a replica entry verbatim (rebuild paths only: column
         decode, state import).  No validation, no version tick."""
         self._replicas.setdefault(vertex, set()).add(partition)
@@ -433,6 +433,11 @@ class DistributedGraphStore:
             if iu > iv:
                 iu, iv = iv, iu
             edge_ids.append((iu << _EXPORT_EDGE_SHIFT) | iv)
+        # edges() walks per-slot adjacency *sets*, so its order depends
+        # on each set's insertion/deletion history; sorting makes the
+        # payload a pure function of graph content (same fix as
+        # encode_columns after the PR-7 incident).
+        edge_ids.sort()
         return {
             "schema": STORE_STATE_SCHEMA,
             "k": self.k,

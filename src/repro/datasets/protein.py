@@ -83,7 +83,7 @@ def protein_network(
                     graph.add_edge(u, v)
 
     # Chain the planted structures so the interactome is one component.
-    for first, second in zip(anchors, anchors[1:]):
+    for first, second in zip(anchors, anchors[1:], strict=False):
         if not graph.has_edge(first, second):
             graph.add_edge(first, second)
     return graph

@@ -297,7 +297,7 @@ def plant_motifs(
 
     # Chain the instances so the graph is (weakly) connected, then sprinkle
     # extra bridges.
-    for first, second in zip(anchors, anchors[1:]):
+    for first, second in zip(anchors, anchors[1:], strict=False):
         if not graph.has_edge(first, second):
             graph.add_edge(first, second)
     for i, first in enumerate(anchors):

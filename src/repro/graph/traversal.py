@@ -10,9 +10,9 @@ These are used in two different roles:
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from collections.abc import Iterator
-import random
 
 from repro.exceptions import VertexNotFoundError
 from repro.graph.labelled import LabelledGraph, Vertex

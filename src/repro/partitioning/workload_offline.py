@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import random
 
-from repro.engine.registry import OFFLINE, default_registry
 from repro.cluster.executor import run_workload
 from repro.cluster.store import DistributedGraphStore
+from repro.engine.registry import OFFLINE, default_registry
 from repro.graph.labelled import Edge, LabelledGraph
 from repro.partitioning.base import PartitionAssignment
 from repro.partitioning.offline import multilevel_partition

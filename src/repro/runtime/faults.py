@@ -125,6 +125,11 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultPlan":
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan key(s): {', '.join(sorted(unknown))}"
+            )
         return cls(
             faults=tuple(
                 WorkerFault.from_dict(entry)

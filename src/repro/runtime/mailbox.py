@@ -23,8 +23,8 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from typing import Any
 
-from repro.workload.query import PatternQuery
 from repro.graph.labelled import LabelledGraph
+from repro.workload.query import PatternQuery
 
 
 class MailboxClosedError(RuntimeError):

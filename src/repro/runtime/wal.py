@@ -65,7 +65,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import IO, Any, Iterator
 
 from repro.cluster.store import DistributedGraphStore
 
@@ -156,7 +156,7 @@ class WriteAheadLog:
         self._sequence = (
             int(segments[-1].stem.split("-")[1]) + 1 if segments else 0
         )
-        self._file = None
+        self._file: IO[bytes] | None = None
         self._written = 0
 
     @property
@@ -176,7 +176,7 @@ class WriteAheadLog:
         self._sync()
         return path
 
-    def append(self, op: tuple, tick: int) -> None:
+    def append(self, op: tuple[Any, ...], tick: int) -> None:
         """Durably (per the sync policy) log one op."""
         if self._file is None:
             raise WalFormatError("write-ahead log is closed")
@@ -219,7 +219,7 @@ class WriteAheadLog:
 # ----------------------------------------------------------------------
 # Reading
 # ----------------------------------------------------------------------
-def read_segment(path: Path) -> Iterator[tuple[int, tuple]]:
+def read_segment(path: Path) -> Iterator[tuple[int, tuple[Any, ...]]]:
     """Yield ``(tick, op)`` records; stop silently at a torn tail.
 
     Raises :class:`WalFormatError` only for a wrong magic/version --
@@ -324,7 +324,7 @@ class RecoveryInfo:
     barrier_stopped: bool = False
     recovered_ticks: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             name: getattr(self, name)
             for name in self.__dataclass_fields__
@@ -339,7 +339,7 @@ class _Replayer:
     info: RecoveryInfo
     halted: bool = field(default=False)
 
-    def feed(self, tick: int, op: tuple) -> bool:
+    def feed(self, tick: int, op: tuple[Any, ...]) -> bool:
         """Apply one record; False once replay must stop for good."""
         if op[0] == "!":
             if tick > self.store.mutation_ticks:
@@ -456,7 +456,7 @@ class DurableLog:
         self.wal.append(("c", store.assignment.capacity), store.mutation_ticks)
         store.wal_hook = self._on_op
 
-    def _on_op(self, op: tuple, tick: int) -> None:
+    def _on_op(self, op: tuple[Any, ...], tick: int) -> None:
         self.wal.append(op, tick)
         if self._checkpointing:
             # Ops emitted while exporting/importing inside a checkpoint
@@ -494,7 +494,7 @@ class DurableLog:
             self._checkpointing = False
         return ticks
 
-    def write_config(self, payload: dict) -> None:
+    def write_config(self, payload: dict[str, Any]) -> None:
         """Persist the session's config so recovery is self-contained."""
         import json
 
@@ -504,13 +504,14 @@ class DurableLog:
         os.replace(scratch, self.directory / self.CONFIG_FILE)
 
     @classmethod
-    def read_config(cls, directory: str | Path) -> dict | None:
+    def read_config(cls, directory: str | Path) -> dict[str, Any] | None:
         import json
 
         path = Path(directory) / cls.CONFIG_FILE
         if not path.is_file():
             return None
-        return json.loads(path.read_text())
+        payload: dict[str, Any] = json.loads(path.read_text())
+        return payload
 
     def close(self) -> None:
         """Unhook from the store and flush/close the log (idempotent)."""

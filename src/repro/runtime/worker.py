@@ -44,6 +44,7 @@ from multiprocessing.connection import Connection
 
 from repro.cluster.executor import DistributedQueryExecutor
 from repro.cluster.store import DistributedGraphStore
+from repro.runtime.faults import HANG_SECONDS, WorkerFault
 from repro.runtime.mailbox import (
     DeltaRefresh,
     ErrorResponse,
@@ -55,7 +56,6 @@ from repro.runtime.mailbox import (
     RefreshResponse,
     Shutdown,
 )
-from repro.runtime.faults import HANG_SECONDS, WorkerFault
 from repro.runtime.shm import SharedSnapshotRef, attach_store
 
 #: Exit code of a scripted boot/kill fault -- distinguishable from a

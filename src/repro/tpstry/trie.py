@@ -22,8 +22,8 @@ tests assert.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 from collections import deque
+from collections.abc import Iterator
 
 from repro.exceptions import WorkloadError
 from repro.graph.canonical import canonical_form

@@ -1,0 +1,24 @@
+"""Seeded CFG violations: dropped fields, lax keys, half a round-trip."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TunerConfig:
+    alpha: float
+    beta: float
+
+    def as_dict(self) -> dict:  # anl: CFG001
+        return {"alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TunerConfig":  # anl: CFG002,CFG003
+        return cls(alpha=payload["alpha"])
+
+
+@dataclass(frozen=True)
+class HalfConfig:  # anl: CFG004
+    gamma: int
+
+    def as_dict(self) -> dict:
+        return {"gamma": self.gamma}

@@ -1,0 +1,18 @@
+"""Seeded DET003: set iteration order leaking into encoded output."""
+
+
+def export_rows(graph):
+    return [vertex for vertex in graph.neighbours(0)]  # anl: DET003
+
+
+def encode_ids(values):
+    ids = set(values)
+    out = []
+    for item in ids:  # anl: DET003
+        out.append(item)
+    return out
+
+
+def export_sorted(graph):
+    """Sanitised twin: sorted() consumption must NOT be flagged."""
+    return sorted(graph.neighbours(0))

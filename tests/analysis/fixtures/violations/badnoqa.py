@@ -1,0 +1,6 @@
+"""Seeded ANA001: a bare suppression neither suppresses nor justifies."""
+
+import time
+
+stamp = time.time()  # anl: ANA001,DET002  # repro: noqa[DET002]
+sanctioned = time.time()  # repro: noqa[DET002] -- fixture: a justified suppression is honoured

@@ -1,0 +1,18 @@
+"""Seeded DET001/DET002: global randomness and wall-clock reads."""
+
+import random
+import time
+from random import shuffle  # anl: DET001
+
+
+def jitter():
+    return random.random()  # anl: DET001
+
+
+def stamp():
+    return time.time()  # anl: DET002
+
+
+def mix(values):
+    shuffle(values)
+    return values

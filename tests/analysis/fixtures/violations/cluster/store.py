@@ -1,0 +1,40 @@
+"""Seeded WAL001/WAL002 plus out-of-owner RES001/RES002 constructions."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from ..runtime.wal import WriteAheadLog
+
+
+class DistributedGraphStore:
+    def __init__(self, graph, assignment):
+        self.graph = graph
+        self.assignment = assignment
+        self._replicas = {}
+        self.version = 0
+
+    def _mutated(self, *op):
+        self.version += 1
+
+    def add_vertex(self, vertex):
+        self.graph.add_vertex(vertex)
+        self._mutated("v+", vertex)
+
+    def quarantine(self, vertex):
+        self.graph.remove_vertex(vertex)
+        self._mutated("q?", vertex)  # anl: WAL002
+
+    def rename(self, old, new):  # anl: WAL001
+        self.graph.remove_vertex(old)
+        self.graph.add_vertex(new)
+
+    def apply_op(self, op):
+        tag = op[0]
+        if tag == "v+":
+            self.add_vertex(op[1])
+        elif tag == "zz":  # anl: WAL002
+            return None
+        return None
+
+    def scratch_segment(self, name, path):
+        SharedMemory(name=name, create=False)  # anl: RES001
+        WriteAheadLog(path)  # anl: RES002

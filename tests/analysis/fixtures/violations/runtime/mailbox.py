@@ -1,0 +1,29 @@
+"""Seeded PROT violations: orphan message, unslotted message.
+
+Never imported at runtime -- this file exists to be *parsed* by
+``tests/analysis``.  The ``anl`` comment markers name the finding each
+line must produce (see test_checkers.py).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class OrphanPing:  # anl: PROT001
+    """Referenced by neither worker.py nor pool.py: dead surface."""
+
+    payload: bytes
+
+
+@dataclass
+class MutableNote:  # anl: PROT002
+    """Dispatched by worker.py but not frozen/slotted."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class FetchRequest:
+    """Constructed by pool.py; worker.py never dispatches it."""
+
+    rows: int

@@ -1,0 +1,7 @@
+"""Seeded PROT004: coordinator sends a request no worker dispatches."""
+
+from .mailbox import FetchRequest
+
+
+def request_rows(mailbox):
+    mailbox.send(FetchRequest(rows=4))  # anl: PROT004

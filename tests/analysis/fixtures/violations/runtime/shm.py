@@ -1,0 +1,8 @@
+"""Seeded RES003: in-owner acquisition with no release on any path."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_segment(name):
+    segment = SharedMemory(name=name, create=True, size=64)  # anl: RES003
+    segment.buf[0] = 1

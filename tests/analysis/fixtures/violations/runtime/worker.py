@@ -1,0 +1,9 @@
+"""Seeded PROT003: imports a message the mailbox does not define."""
+
+from .mailbox import GhostReply, MutableNote  # anl: PROT003
+
+
+def handle(message):
+    if isinstance(message, MutableNote):
+        return GhostReply()
+    return None

@@ -66,7 +66,7 @@ def test_experiment_schema(experiment_id):
     tables = run_experiment(experiment_id, seed=0, fast=True)
     expected = EXPECTED_COLUMNS[experiment_id]
     assert len(tables) == len(expected), f"{experiment_id}: table count"
-    for table, columns in zip(tables, expected):
+    for table, columns in zip(tables, expected, strict=True):
         assert table.columns == columns, f"{experiment_id}: {table.title}"
         assert len(table) > 0, f"{experiment_id}: {table.title} is empty"
         # Every row must format cleanly (render exercises the formatter).
@@ -81,12 +81,12 @@ def test_experiment_deterministic(experiment_id):
         pytest.skip("timing-based table")
     first = run_experiment(experiment_id, seed=3, fast=True)
     second = run_experiment(experiment_id, seed=3, fast=True)
-    for a, b in zip(first, second):
+    for a, b in zip(first, second, strict=True):
         non_timing = [
             c for c in a.columns
             if "seconds" not in c and not c.endswith("per_second")
         ]
-        for row_a, row_b in zip(a.rows, b.rows):
+        for row_a, row_b in zip(a.rows, b.rows, strict=True):
             for column in non_timing:
                 assert row_a[column] == row_b[column], (
                     f"{experiment_id}:{a.title}:{column}"

@@ -4,14 +4,14 @@ import random
 
 import pytest
 
+from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.harness import (
     STREAMING_METHODS,
     evaluate_assignment,
     partition_with,
 )
-from repro.bench.experiments import EXPERIMENTS, run_experiment
-from repro.graph.generators import plant_motifs
 from repro.graph import LabelledGraph
+from repro.graph.generators import plant_motifs
 from repro.stream.sources import stream_from_graph
 from repro.workload import PatternQuery, Workload
 

@@ -7,8 +7,8 @@ import pytest
 from repro.bench.harness import partition_with
 from repro.cluster import DistributedGraphStore, run_workload
 from repro.exceptions import PartitioningError
-from repro.graph.generators import plant_motifs
 from repro.graph import LabelledGraph
+from repro.graph.generators import plant_motifs
 from repro.stream.events import VertexArrival
 from repro.stream.sources import stream_from_graph
 from repro.workload import PatternQuery, Workload

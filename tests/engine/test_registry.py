@@ -5,8 +5,8 @@ import pytest
 from repro.engine.registry import (
     OFFLINE,
     STREAMING,
-    PartitionRequest,
     PartitionerRegistry,
+    PartitionRequest,
     UnknownPartitionerError,
     default_registry,
 )

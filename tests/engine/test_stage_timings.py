@@ -55,7 +55,7 @@ def test_stage_seconds_flow_to_engine_stats_and_hooks():
     assert final["evict"] > 0.0
     assert seen, "hooks should observe per-batch stage snapshots"
     # Snapshots are cumulative: monotone per stage.
-    for earlier, later in zip(seen, seen[1:]):
+    for earlier, later in zip(seen, seen[1:], strict=False):
         for stage in STAGES:
             assert later[stage] >= earlier[stage]
 

@@ -10,8 +10,8 @@ from repro.graph.generators import (
     barabasi_albert,
     erdos_renyi,
     grid,
-    planted_partition,
     plant_motifs,
+    planted_partition,
     random_tree,
     watts_strogatz,
 )

@@ -27,8 +27,8 @@ from repro import (
 )
 from repro.graph import LabelledGraph
 from repro.graph.generators import erdos_renyi, plant_motifs
-from repro.graph.views import edge_subgraph
 from repro.graph.isomorphism import is_isomorphic
+from repro.graph.views import edge_subgraph
 from repro.partitioning.base import default_capacity
 from repro.stream.sources import replay, stream_from_graph
 

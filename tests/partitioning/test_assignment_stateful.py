@@ -8,13 +8,13 @@ note/unnote symmetry, grow_capacity monotone).
 """
 
 from hypothesis import settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
     precondition,
     rule,
 )
-from hypothesis import strategies as st
 
 from repro.exceptions import CapacityExceededError, PartitioningError
 from repro.partitioning import PartitionAssignment

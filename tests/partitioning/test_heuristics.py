@@ -20,13 +20,13 @@ from repro.partitioning import (
     normalised_max_load,
     partition_graph,
 )
+from repro.partitioning.base import PartitionAssignment
 from repro.partitioning.hashing import stable_hash
 from repro.partitioning.streaming import (
     choose_partition_for_group,
     ldg_group_score,
     ldg_score,
 )
-from repro.partitioning.base import PartitionAssignment
 
 ALL_PARTITIONERS = [
     HashPartitioner,

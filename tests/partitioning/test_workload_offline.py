@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.cluster import DistributedGraphStore, run_workload
 from repro.graph import LabelledGraph, edge_key
 from repro.graph.generators import plant_motifs
 from repro.partitioning import multilevel_partition
@@ -12,7 +13,6 @@ from repro.partitioning.workload_offline import (
     traversal_edge_weights,
     workload_aware_multilevel,
 )
-from repro.cluster import DistributedGraphStore, run_workload
 from repro.workload import PatternQuery, Workload, figure1_graph, figure1_workload
 
 

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import Cluster, ClusterConfig
 from repro.cluster.columnar import (
     FLAG_INT_VERTICES,
     HEADER,
@@ -14,7 +15,6 @@ from repro.cluster.columnar import (
     encode_columns,
     peek_header,
 )
-from repro.api import Cluster, ClusterConfig
 from repro.cluster.store import DistributedGraphStore
 from repro.graph.labelled import LabelledGraph
 from repro.workload import PatternQuery, Workload

@@ -12,6 +12,7 @@ import pytest
 
 from repro.api import Cluster, ClusterConfig, WorkerConfig
 from repro.bench.experiments import _motif_testbed
+from repro.bench.scaling import default_start_method
 from repro.cluster.executor import DistributedQueryExecutor, run_workload
 from repro.runtime import (
     ShardSnapshot,
@@ -19,7 +20,6 @@ from repro.runtime import (
     WorkerPool,
     run_sharded_workload,
 )
-from repro.bench.scaling import default_start_method
 
 START = default_start_method()
 

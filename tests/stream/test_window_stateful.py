@@ -11,13 +11,13 @@ after every step:
 """
 
 from hypothesis import settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
     precondition,
     rule,
 )
-from hypothesis import strategies as st
 
 from repro.stream import SlidingWindow
 
