@@ -1,9 +1,10 @@
-"""PROT: mailbox protocol conformance.
+"""PROT: mailbox and wire protocol conformance.
 
 The runtime's coordinator and workers speak the frozen-dataclass message
-vocabulary of ``runtime/mailbox.py`` over pickled pipes.  The protocol
-has no schema registry at runtime -- conformance is enforced here, at
-lint time, by reading all three modules together:
+vocabulary of ``runtime/mailbox.py`` over pickled pipes, and the serving
+daemon speaks the verb registry of ``serve/protocol.py`` over TCP.
+Neither protocol has a schema registry at runtime -- conformance is
+enforced here, at lint time, by cross-reading the modules:
 
 ``PROT001``
     A message dataclass in ``mailbox.py`` that neither the worker
@@ -25,6 +26,15 @@ lint time, by reading all three modules together:
     ``worker.py``: the worker would answer it with the unknown-message
     ``ErrorResponse`` at runtime, and every send of it would read as a
     crash.
+``PROT005``
+    A verb declared in the ``serve/protocol.py`` ``VERBS`` registry with
+    no ``_verb_<name>`` handler in ``serve/daemon.py``: clients are
+    promised a verb the daemon answers ``unknown-verb``.
+``PROT006``
+    A ``_verb_<name>`` handler in ``serve/daemon.py`` whose name is not
+    declared in ``VERBS``: unreachable over the wire (the dispatcher
+    rejects undeclared verbs before routing), i.e. a handler someone
+    forgot to register.
 """
 
 from __future__ import annotations
@@ -43,6 +53,8 @@ from repro.analysis.findings import Finding
 MAILBOX = "runtime/mailbox.py"
 WORKER = "runtime/worker.py"
 POOL = "runtime/pool.py"
+SERVE_PROTOCOL = "serve/protocol.py"
+SERVE_DAEMON = "serve/daemon.py"
 
 
 def _referenced_names(module: SourceModule) -> set[str]:
@@ -134,10 +146,89 @@ def _dataclass_options(cls: ast.ClassDef) -> dict[str, bool]:
     return options
 
 
-@register("PROT", "mailbox protocol conformance: orphan messages, "
+def _declared_verbs(module: SourceModule) -> list[tuple[str, int]]:
+    """(verb, line) for every string key of a top-level ``VERBS = {...}``."""
+    declared: list[tuple[str, int]] = []
+    if module.tree is None:
+        return declared
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "VERBS" for t in targets
+        ):
+            continue
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    declared.append((key.value, key.lineno))
+    return declared
+
+
+def _verb_handlers(module: SourceModule) -> list[tuple[str, int]]:
+    """(verb, line) for every ``def _verb_<name>`` anywhere in the
+    module (handlers live on the host class)."""
+    handlers: list[tuple[str, int]] = []
+    if module.tree is None:
+        return handlers
+    for node in ast.walk(module.tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and node.name.startswith("_verb_"):
+            handlers.append((node.name[len("_verb_"):], node.lineno))
+    return handlers
+
+
+@register("PROT", "mailbox/wire protocol conformance: orphan messages, "
                   "unsafe declarations, phantom handlers, undispatched "
-                  "requests")
+                  "requests, verb-registry drift")
 def check_protocol(tree: SourceTree) -> Iterator[Finding]:
+    yield from _check_mailbox(tree)
+    yield from _check_serve(tree)
+
+
+def _check_serve(tree: SourceTree) -> Iterator[Finding]:
+    protocol = tree.find(SERVE_PROTOCOL)
+    daemon = tree.find(SERVE_DAEMON)
+    if protocol is None or daemon is None:
+        return
+    declared = _declared_verbs(protocol)
+    handlers = _verb_handlers(daemon)
+    handled = {verb for verb, _ in handlers}
+    declared_names = {verb for verb, _ in declared}
+    for verb, line in declared:
+        if verb not in handled and not protocol.is_suppressed(
+            line, "PROT005"
+        ):
+            yield Finding(
+                "PROT005",
+                protocol.rel,
+                line,
+                f"verb {verb!r} is declared in VERBS but {SERVE_DAEMON} "
+                f"defines no _verb_{verb} handler: clients are promised "
+                "a verb the daemon answers unknown-verb",
+            )
+    for verb, line in handlers:
+        if verb not in declared_names and not daemon.is_suppressed(
+            line, "PROT006"
+        ):
+            yield Finding(
+                "PROT006",
+                daemon.rel,
+                line,
+                f"handler _verb_{verb} has no VERBS entry in "
+                f"{SERVE_PROTOCOL}: unreachable over the wire (the "
+                "dispatcher rejects undeclared verbs before routing)",
+            )
+
+
+def _check_mailbox(tree: SourceTree) -> Iterator[Finding]:
     mailbox = tree.find(MAILBOX)
     if mailbox is None or mailbox.tree is None:
         return

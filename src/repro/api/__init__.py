@@ -31,6 +31,7 @@ from repro.api.results import (
     RetractReport,
     WorkloadReport,
 )
+from repro.exceptions import ConcurrentSessionError, SessionError
 from repro.runtime.faults import FaultPlan, WorkerFault
 from repro.api.session import (
     DATASET_SEED_OFFSET,
@@ -51,6 +52,8 @@ __all__ = [
     "FaultPlan",
     "WorkerFault",
     "Session",
+    "SessionError",
+    "ConcurrentSessionError",
     "ClusterStats",
     "IngestReport",
     "QueryResult",

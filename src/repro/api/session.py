@@ -37,11 +37,14 @@ the workers.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 import random
+import threading
 import time
 import warnings
 from collections.abc import Sequence
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
@@ -65,8 +68,13 @@ from repro.engine.pipeline import (
     as_stream_partitioner,
 )
 from repro.engine.registry import OFFLINE, PartitionRequest, default_registry
-from repro.exceptions import SessionError
-from repro.graph.labelled import LabelledGraph, Vertex, edge_key
+from repro.exceptions import ConcurrentSessionError, SessionError
+from repro.graph.labelled import (
+    LabelledGraph,
+    Vertex,
+    _vertex_sort_key,
+    edge_key,
+)
 from repro.partitioning import edge_cut_fraction, normalised_max_load
 from repro.partitioning.base import default_capacity
 from repro.replication.hotspot import HotspotReplicator, ReplicationReport
@@ -246,6 +254,24 @@ class Cluster:
         return session
 
 
+def _locked(method):
+    """Serialise a session command on the session's command lock.
+
+    Cross-thread callers block until the running command finishes (the
+    serving daemon's per-cluster queue and tests drive sessions from
+    several threads); a *same-thread* nested call -- a stats hook or
+    signal handler calling back into the façade mid-command -- raises
+    :class:`ConcurrentSessionError` instead of deadlocking.
+    """
+
+    @functools.wraps(method)
+    def locked(self, *args, **kwargs):
+        with self._command(method.__name__):
+            return method(self, *args, **kwargs)
+
+    return locked
+
+
 class Session:
     """A live simulated cluster: ingest, query, inspect, re-place, persist.
 
@@ -283,6 +309,42 @@ class Session:
         # (None with durability off, or before the store exists).
         self._wal = None
         self._recovery = None
+        # Re-entrancy guard: every public command serialises on this
+        # lock (see :func:`_locked`); ``_command_owner`` is the
+        # (thread ident, command name) currently holding it.  ``close``
+        # stays outside the command lock -- commands (repartition) and
+        # signal handlers must be able to call it -- and uses its own
+        # non-blocking mutex for idempotence under signal re-entry.
+        self._command_mutex = threading.Lock()
+        self._command_owner: tuple[int, str] | None = None
+        self._close_mutex = threading.Lock()
+        #: When set to a list, every command appends ``(name, thread
+        #: ident)`` *while holding the lock* -- the observed serialised
+        #: order concurrency tests replay against.
+        self.command_trace: list[tuple[str, int]] | None = None
+
+    @contextmanager
+    def _command(self, name: str):
+        """Hold the session's command lock for one façade command."""
+        ident = threading.get_ident()
+        owner = self._command_owner
+        # Only this thread can have set an owner tuple with its own
+        # ident, so the read is race-free for the re-entrancy verdict.
+        if owner is not None and owner[0] == ident:
+            raise ConcurrentSessionError(
+                f"session command {name!r} issued while {owner[1]!r} is "
+                "still running on the same thread (a hook or signal "
+                "handler called back into the session); issue commands "
+                "from another thread to serialise instead"
+            )
+        with self._command_mutex:
+            self._command_owner = (ident, name)
+            if self.command_trace is not None:
+                self.command_trace.append((name, ident))
+            try:
+                yield
+            finally:
+                self._command_owner = None
 
     # ------------------------------------------------------------------
     # State access
@@ -515,13 +577,24 @@ class Session:
         and the session stays usable; durable logging ends here, with
         the WAL flushed so ``Cluster.recover`` restores exactly the
         closed state.
+
+        Signal-safe: ``close`` never takes the command lock (a SIGINT
+        handler must be able to close a session whose command the
+        interrupt abandoned mid-flight), and a re-entrant call landing
+        while another ``close`` is between its teardown steps returns
+        at once instead of double-releasing.
         """
-        pool, self._pool = self._pool, None
+        if not self._close_mutex.acquire(blocking=False):
+            return
         try:
-            if pool is not None:
-                pool.close()
+            pool, self._pool = self._pool, None
+            try:
+                if pool is not None:
+                    pool.close()
+            finally:
+                self._release_wal()
         finally:
-            self._release_wal()
+            self._close_mutex.release()
 
     def _release_wal(self) -> None:
         """Flush/close the durable log, folding its totals into the
@@ -570,6 +643,7 @@ class Session:
             + (wal.checkpoints if wal is not None else 0),
         )
 
+    @_locked
     def checkpoint(self) -> int:
         """Force a durable columnar checkpoint now (truncating the op
         log); returns the checkpointed mutation-tick count.  Requires
@@ -628,6 +702,7 @@ class Session:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+    @_locked
     def ingest(
         self,
         source: Sequence[StreamEvent] | LabelledGraph | str,
@@ -955,6 +1030,7 @@ class Session:
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
+    @_locked
     def query(
         self,
         pattern: PatternQuery | LabelledGraph,
@@ -987,6 +1063,7 @@ class Session:
             cost=ledger.cost(self._latency),
         )
 
+    @_locked
     def run_workload(
         self,
         workload: Workload | None = None,
@@ -1057,6 +1134,7 @@ class Session:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
+    @_locked
     def stats(self) -> ClusterStats:
         """One snapshot of graph, balance, engine and matcher counters."""
         store = self._store
@@ -1119,6 +1197,7 @@ class Session:
     # ------------------------------------------------------------------
     # Repartition
     # ------------------------------------------------------------------
+    @_locked
     def repartition(
         self,
         method: str | None = None,
@@ -1210,6 +1289,7 @@ class Session:
     # ------------------------------------------------------------------
     # Churn: explicit retraction and live rebalancing
     # ------------------------------------------------------------------
+    @_locked
     def retract(
         self,
         *,
@@ -1281,6 +1361,7 @@ class Session:
             resident_edges=graph.num_edges,
         )
 
+    @_locked
     def rebalance(
         self, *, max_moves: int | None = None, min_gain: int = 1
     ) -> RebalanceReport:
@@ -1377,6 +1458,7 @@ class Session:
     # ------------------------------------------------------------------
     # Replication
     # ------------------------------------------------------------------
+    @_locked
     def replicate(
         self,
         workload: Workload | None = None,
@@ -1413,12 +1495,18 @@ class Session:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    @_locked
     def snapshot(self, path: str | Path | None = None) -> dict[str, Any]:
         """JSON-plain snapshot of config + resident graph + assignment.
 
         Taken at an ingest boundary (the assignment must be complete).
         ``path`` additionally writes the JSON file
         :meth:`Cluster.restore` reads back.
+
+        The listings are sorted: the snapshot is a canonical state
+        document, so two sessions holding the same state produce the
+        same bytes even when their stores iterate in different orders
+        (op-replay recovery vs checkpoint restore, say).
         """
         self._require_complete()
         store = self.store
@@ -1427,16 +1515,28 @@ class Session:
             "config": self.config.as_dict(),
             "capacity": store.assignment.capacity,
             "graph": {
-                "vertices": [
-                    [vertex, store.graph.label(vertex)]
-                    for vertex in store.graph.vertices()
-                ],
-                "edges": [[u, v] for u, v in store.graph.edges()],
+                "vertices": sorted(
+                    (
+                        [vertex, store.graph.label(vertex)]
+                        for vertex in store.graph.vertices()
+                    ),
+                    key=lambda pair: _vertex_sort_key(pair[0]),
+                ),
+                "edges": sorted(
+                    ([u, v] for u, v in store.graph.edges()),
+                    key=lambda pair: (
+                        _vertex_sort_key(pair[0]),
+                        _vertex_sort_key(pair[1]),
+                    ),
+                ),
             },
-            "assignment": [
-                [vertex, partition]
-                for vertex, partition in store.assignment.assigned().items()
-            ],
+            "assignment": sorted(
+                (
+                    [vertex, partition]
+                    for vertex, partition in store.assignment.assigned().items()
+                ),
+                key=lambda pair: _vertex_sort_key(pair[0]),
+            ),
         }
         if path is not None:
             Path(path).write_text(

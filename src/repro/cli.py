@@ -16,6 +16,10 @@
     loom-repro bench --baseline BENCH_PR6.json --fail-below 0.9
     loom-repro analyze                   # invariant static analysis
     loom-repro analyze --select DET,WAL --format json
+    loom-repro serve --tenant demo --method ldg -k 4 --port 7466
+    loom-repro serve --config deploy.json
+    loom-repro connect --tenant demo ingest --payload '{"dataset": "social"}'
+    loom-repro connect --tenant demo stats
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -404,6 +408,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    """Build a ServeConfig from --config JSON or single-tenant flags."""
+    from repro.serve import ServeConfig, TenantConfig
+
+    if args.config:
+        if any([args.tenant != "default", args.wal_dir, args.workload_dataset]):
+            raise ConfigurationError(
+                "--config is exclusive with the single-tenant flags"
+            )
+        try:
+            config = ServeConfig.from_file(args.config)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read config {args.config!r}: {error}"
+            ) from error
+        except (ValueError, KeyError) as error:
+            raise ConfigurationError(
+                f"cannot parse config {args.config!r}: {error}"
+            ) from error
+        if args.host is not None or args.port is not None:
+            import dataclasses
+
+            overrides = {}
+            if args.host is not None:
+                overrides["host"] = args.host
+            if args.port is not None:
+                overrides["port"] = args.port
+            config = dataclasses.replace(config, **overrides)
+        return config
+    durability = DurabilityConfig()
+    if args.wal_dir:
+        durability = DurabilityConfig(mode="wal", wal_dir=args.wal_dir)
+    tenant = TenantConfig(
+        name=args.tenant,
+        cluster=ClusterConfig(
+            partitions=args.k,
+            method=args.method,
+            seed=args.seed,
+            worker=WorkerConfig(count=args.workers),
+            durability=durability,
+        ),
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        default_deadline=args.deadline,
+        workload_dataset=args.workload_dataset,
+    )
+    return ServeConfig(
+        host=args.host if args.host is not None else "127.0.0.1",
+        port=args.port if args.port is not None else 7466,
+        tenants=(tenant,),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import run_server
+
+    try:
+        config = _serve_config(args)
+    except ConfigurationError as error:
+        return _fail(str(error))
+    try:
+        run_server(config)
+    except OSError as error:
+        return _fail(f"cannot serve on {config.host}:{config.port}: {error}")
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+    from repro.serve.client import RemoteError
+    from repro.serve.protocol import ProtocolError
+
+    payload = {}
+    if args.payload:
+        try:
+            payload = json.loads(args.payload)
+        except json.JSONDecodeError as error:
+            return _fail(f"--payload is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            return _fail("--payload must be a JSON object")
+    client = ServeClient(args.host, args.port, tenant=args.tenant)
+    try:
+        with client:
+            result = client.call(
+                args.verb, payload, deadline=args.deadline
+            )
+    except RemoteError as error:
+        return _fail(f"{error.kind}: {error.message}")
+    except (OSError, ProtocolError) as error:
+        return _fail(
+            f"cannot reach {args.host}:{args.port}: {error}"
+        )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import UnknownCheckError, analyze_paths, render_json, render_text
 
@@ -528,6 +628,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit 1 if any headline speedup falls below "
                        "FLOOR times the baseline's (bench-trend CI gate)")
     bench.set_defaults(fn=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the TCP serving daemon hosting one or more named "
+        "clusters (stop with SIGTERM/SIGINT for a graceful drain)",
+    )
+    serve.add_argument("--config", default=None, metavar="JSON",
+                       help="ServeConfig JSON document (multi-tenant "
+                       "deployments; exclusive with the flags below)")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 7466; 0 = ephemeral)")
+    serve.add_argument("--tenant", default="default",
+                       help="single-tenant mode: the cluster's name")
+    serve.add_argument("--method", default="ldg",
+                       help="partitioning method for the tenant cluster")
+    serve.add_argument("-k", type=int, default=4,
+                       help="partitions for the tenant cluster")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for sharded execution")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--wal-dir", default=None,
+                       help="durable WAL directory (existing state is "
+                       "recovered, not refused)")
+    serve.add_argument("--workload-dataset", default=None,
+                       help="pre-bind the bundled workload of a named "
+                       "dataset (social, fraud, citation, protein, churn)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="admission control: max unanswered requests")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="backpressure: max queued commands")
+    serve.add_argument("--deadline", type=float, default=60.0,
+                       help="default per-request deadline in seconds")
+    serve.set_defaults(fn=_cmd_serve)
+
+    connect = sub.add_parser(
+        "connect", help="send one verb to a running serving daemon"
+    )
+    connect.add_argument("verb",
+                         choices=["ping", "ingest", "query", "workload",
+                                  "retract", "rebalance", "stats",
+                                  "snapshot"],
+                         help="wire verb to send")
+    connect.add_argument("--host", default="127.0.0.1")
+    connect.add_argument("--port", type=int, default=7466)
+    connect.add_argument("--tenant", default=None,
+                         help="tenant name (omit for server-level ping)")
+    connect.add_argument("--payload", default=None, metavar="JSON",
+                         help="verb payload as a JSON object")
+    connect.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+    connect.set_defaults(fn=_cmd_connect)
 
     analyze = sub.add_parser(
         "analyze",

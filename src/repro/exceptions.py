@@ -61,3 +61,11 @@ class SessionError(ReproError):
     """A :mod:`repro.api` session command was issued in the wrong state
     (querying before ingest completed, repartitioning an empty cluster,
     restoring from an incompatible snapshot, ...)."""
+
+
+class ConcurrentSessionError(SessionError):
+    """A session command was issued while another command was still
+    running *on the same thread* -- re-entrant use of the façade (a
+    stats hook calling back into :meth:`Session.query`, a signal handler
+    issuing commands mid-ingest).  Cross-thread callers never see this:
+    they serialise on the session's command lock instead."""

@@ -186,6 +186,12 @@ class Mailbox:
     def __init__(self, connection: Connection) -> None:
         self._connection = connection
 
+    @property
+    def connection(self) -> Connection:
+        """The raw pipe end, for multiplexed readiness polling
+        (:func:`multiprocessing.connection.wait` across a pool)."""
+        return self._connection
+
     def send(self, message: Any) -> None:
         try:
             self._connection.send(message)

@@ -4,7 +4,11 @@ A :class:`WorkerPool` hosts ``N`` worker processes, each booted from the
 same columnar :class:`~repro.runtime.snapshot.ShardSnapshot` and owning
 a disjoint round-robin slice of the partitions.  The pool is the only
 place that talks to the mailboxes: it broadcasts batched requests,
-gathers one response per worker under a shared deadline, and converts
+gathers the responses by multiplexed readiness polling under one shared
+``time.monotonic()`` deadline (every worker gets the full budget
+measured from the broadcast -- a slow peer cannot starve the rest, and
+hangs are attributed to exactly the workers whose responses never
+arrived), and converts
 every failure mode -- a dead process, a broken pipe, a silent worker, an
 in-worker exception -- into :class:`WorkerCrashError`, which callers
 (the sharded executor) treat as "degrade to in-process execution now".
@@ -39,7 +43,9 @@ platform and cannot inherit accidental parent state.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
 from typing import Sequence
 
 from repro.runtime.mailbox import (
@@ -145,13 +151,8 @@ class WorkerPool:
                     )
                 )
             self.handles: tuple[WorkerHandle, ...] = tuple(handles)
-            for handle in self.handles:
-                hello = self._receive(handle)
-                if not isinstance(hello, Hello):
-                    raise WorkerCrashError(
-                        f"worker {handle.worker_id} sent "
-                        f"{type(hello).__name__} instead of Hello"
-                    )
+            hellos = self._gather(Hello)
+            for handle, hello in zip(self.handles, hellos, strict=True):
                 handle.import_seconds = hello.import_seconds
         except BaseException:
             self.handles = tuple(handles)
@@ -190,11 +191,15 @@ class WorkerPool:
             handle.process.is_alive() for handle in self.handles
         )
 
-    def _receive(self, handle: WorkerHandle):
-        """One message from ``handle``, policing deadline and liveness."""
+    def _receive_ready(self, handle: WorkerHandle):
+        """One already-arrived message from ``handle`` (its pipe polled
+        ready), converting every failure mode to WorkerCrashError."""
         try:
-            message = handle.mailbox.recv(self.timeout)
+            message = handle.mailbox.recv(0.0)
         except MailboxTimeoutError as error:
+            # Only reachable when the mailbox is wrapped/poisoned (the
+            # readiness poll said data was there); same verdict as a
+            # genuinely silent worker.
             state = (
                 "alive but silent"
                 if handle.process.is_alive()
@@ -213,6 +218,64 @@ class WorkerPool:
                 f"worker {handle.worker_id} raised:\n{message.traceback}"
             )
         return message
+
+    @staticmethod
+    def _hung_detail(handles) -> str:
+        """Name exactly the workers that exceeded the deadline."""
+        return ", ".join(
+            f"worker {handle.worker_id} ("
+            + (
+                "alive but silent"
+                if handle.process.is_alive()
+                else f"dead, exitcode={handle.process.exitcode}"
+            )
+            + ")"
+            for handle in sorted(handles, key=lambda h: h.worker_id)
+        )
+
+    def _gather(self, expect, request_id: int | None = None) -> list:
+        """One ``expect``-typed message from every worker, multiplexed
+        under a single shared deadline.
+
+        All pending pipes are polled concurrently from one
+        ``time.monotonic()`` anchor, so a slow-but-alive worker cannot
+        starve the others of budget: every worker has the full
+        ``timeout`` measured from the broadcast, and a hang is
+        attributed to exactly the workers whose own responses never
+        arrived (never to fast peers drained after a slow one).  Even
+        with the deadline already spent, arrived responses are drained
+        (poll at timeout 0) before anyone is declared hung.  Returns the
+        messages in worker-id (= handle) order.
+        """
+        deadline = time.monotonic() + self.timeout
+        pending = {
+            handle.mailbox.connection: handle for handle in self.handles
+        }
+        messages: dict[int, object] = {}
+        while pending:
+            remaining = deadline - time.monotonic()
+            ready = connection_wait(
+                list(pending), timeout=max(remaining, 0.0)
+            )
+            if not ready:
+                raise WorkerCrashError(
+                    f"no response within {self.timeout:.1f}s from "
+                    f"{self._hung_detail(pending.values())}"
+                )
+            for conn in ready:
+                handle = pending.pop(conn)
+                message = self._receive_ready(handle)
+                if not isinstance(message, expect) or (
+                    request_id is not None
+                    and message.request_id != request_id
+                ):
+                    raise WorkerCrashError(
+                        f"worker {handle.worker_id} answered out of "
+                        f"protocol: {type(message).__name__} "
+                        f"(expected {expect.__name__})"
+                    )
+                messages[handle.worker_id] = message
+        return [messages[handle.worker_id] for handle in self.handles]
 
     def _broadcast(self, message) -> None:
         for handle in self.handles:
@@ -249,18 +312,9 @@ class WorkerPool:
         )
         try:
             self._broadcast(request)
-            responses: list[ExecuteResponse] = []
-            for handle in self.handles:
-                message = self._receive(handle)
-                if (
-                    not isinstance(message, ExecuteResponse)
-                    or message.request_id != request.request_id
-                ):
-                    raise WorkerCrashError(
-                        f"worker {handle.worker_id} answered out of "
-                        f"protocol: {type(message).__name__}"
-                    )
-                responses.append(message)
+            responses: list[ExecuteResponse] = self._gather(
+                ExecuteResponse, request_id=request.request_id
+            )
         except WorkerCrashError:
             self.close()
             raise
@@ -268,16 +322,9 @@ class WorkerPool:
 
     def _gather_refresh(self) -> tuple[float, list[RefreshResponse]]:
         """One RefreshResponse per worker; returns (slowest, responses)."""
+        responses: list[RefreshResponse] = self._gather(RefreshResponse)
         slowest = 0.0
-        responses: list[RefreshResponse] = []
-        for handle in self.handles:
-            message = self._receive(handle)
-            if not isinstance(message, RefreshResponse):
-                raise WorkerCrashError(
-                    f"worker {handle.worker_id} answered out of "
-                    f"protocol: {type(message).__name__}"
-                )
-            responses.append(message)
+        for handle, message in zip(self.handles, responses, strict=True):
             handle.import_seconds = message.import_seconds
             slowest = max(slowest, message.import_seconds)
         return slowest, responses
@@ -373,18 +420,24 @@ class WorkerPool:
             self.segments.close()
             return
         self._closed = True
-        for handle in self.handles:
-            try:
-                handle.mailbox.send(Shutdown())
-            except MailboxClosedError:
-                pass
-        for handle in self.handles:
-            handle.process.join(timeout=2.0)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
+        try:
+            # A KeyboardInterrupt landing mid-drain (Ctrl-C while a
+            # signal handler closes the session) must still reach the
+            # segment unlinks: everything before the finally is
+            # best-effort process reaping.
+            for handle in self.handles:
+                try:
+                    handle.mailbox.send(Shutdown())
+                except MailboxClosedError:
+                    pass
+            for handle in self.handles:
                 handle.process.join(timeout=2.0)
-            handle.mailbox.close()
-        self.segments.close()
+                if handle.process.is_alive():  # pragma: no cover - stuck
+                    handle.process.terminate()
+                    handle.process.join(timeout=2.0)
+                handle.mailbox.close()
+        finally:
+            self.segments.close()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -1,0 +1,51 @@
+"""``repro.serve`` -- the network serving layer over the session façade.
+
+An asyncio daemon (:mod:`repro.serve.daemon`) hosts one or more named
+clusters ("tenants") behind a length-prefixed JSON protocol over TCP
+(:mod:`repro.serve.protocol`), multiplexing concurrent client
+connections onto each cluster's single-writer command queue with
+admission control, bounded-queue backpressure and per-request
+deadlines.  :mod:`repro.serve.client` is the thin blocking SDK; the
+``loom-repro serve`` / ``loom-repro connect`` CLI pair wraps both.
+"""
+
+from repro.serve.client import (
+    DeadlineExceededError,
+    RemoteSessionError,
+    ServeClient,
+    ServerShutdownError,
+    TenantBusyError,
+    UnknownTenantError,
+)
+from repro.serve.config import ServeConfig, TenantConfig
+from repro.serve.daemon import BackgroundServer, ClusterHost, ReproServer
+from repro.serve.protocol import (
+    ERROR_KINDS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    VERBS,
+    FrameTooLargeError,
+    ProtocolError,
+    ServeError,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "ClusterHost",
+    "DeadlineExceededError",
+    "ERROR_KINDS",
+    "FrameTooLargeError",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteSessionError",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerShutdownError",
+    "TenantBusyError",
+    "TenantConfig",
+    "UnknownTenantError",
+    "VERBS",
+]

@@ -1,0 +1,300 @@
+"""The thin blocking client SDK for the serving daemon.
+
+One :class:`ServeClient` is one TCP connection (lazily opened, safe to
+reuse across requests, ``close``-able/context-managed).  Typed wrappers
+mirror the session façade verb for verb and return the server's JSON
+result dicts verbatim -- exactly ``Report.as_dict()`` of the in-process
+equivalent, which is what the differential tests compare byte for
+byte.  Error responses raise typed exceptions keyed by the protocol's
+error kinds (``busy`` -> :class:`TenantBusyError`, ...).
+
+The client is intentionally synchronous: callers that want concurrency
+open one client per thread (a connection answers requests in order).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any
+
+from repro.serve.config import DEFAULT_PORT
+from repro.serve.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServeError,
+    decode_body,
+    encode_frame,
+    events_to_wire,
+    pattern_to_wire,
+)
+
+
+class RemoteError(ServeError):
+    """Base class for typed server-side error responses."""
+
+    kind = "internal"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class BadRequestError(RemoteError):
+    kind = "bad-request"
+
+
+class UnknownVerbError(RemoteError):
+    kind = "unknown-verb"
+
+
+class UnknownTenantError(RemoteError):
+    kind = "unknown-tenant"
+
+
+class TenantBusyError(RemoteError):
+    """Admission control or backpressure rejected the request."""
+
+    kind = "busy"
+
+
+class DeadlineExceededError(RemoteError):
+    """The request spent its deadline queued; the session was never
+    touched."""
+
+    kind = "deadline"
+
+
+class RemoteSessionError(RemoteError):
+    """The session command itself raised (bad state, unknown dataset,
+    ...)."""
+
+    kind = "session"
+
+
+class ServerShutdownError(RemoteError):
+    kind = "shutdown"
+
+
+class InternalServerError(RemoteError):
+    kind = "internal"
+
+
+_ERROR_TYPES = {
+    cls.kind: cls
+    for cls in (
+        BadRequestError,
+        UnknownVerbError,
+        UnknownTenantError,
+        TenantBusyError,
+        DeadlineExceededError,
+        RemoteSessionError,
+        ServerShutdownError,
+        InternalServerError,
+    )
+}
+
+
+class ServeClient:
+    """One blocking connection to the daemon, bound to one tenant."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+        socket_timeout: float = 120.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        #: Default per-request deadline shipped with every call (None =
+        #: let the tenant's configured default apply server-side).
+        self.deadline = deadline
+        self._socket_timeout = socket_timeout
+        self._max_frame_bytes = max_frame_bytes
+        self._socket: socket.socket | None = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._socket is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self._socket_timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._socket = sock
+        return self._socket
+
+    def _read_exactly(self, sock: socket.socket, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = sock.recv(count)
+            if not chunk:
+                raise ProtocolError("server closed the connection")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def call(
+        self,
+        verb: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> Any:
+        """One request/response round trip; returns the result or
+        raises the typed error the server answered with."""
+        request: dict[str, Any] = {
+            "id": next(self._ids),
+            "verb": verb,
+            "tenant": tenant if tenant is not None else self.tenant,
+            "payload": payload or {},
+        }
+        if deadline is None:
+            deadline = self.deadline
+        if deadline is not None:
+            request["deadline"] = deadline
+        sock = self._connect()
+        try:
+            sock.sendall(
+                encode_frame(
+                    request, max_frame_bytes=self._max_frame_bytes
+                )
+            )
+            header = self._read_exactly(sock, HEADER.size)
+            (length,) = HEADER.unpack(header)
+            if length > self._max_frame_bytes:
+                raise ProtocolError(
+                    f"server announced a {length}-byte body"
+                )
+            body = decode_body(self._read_exactly(sock, length))
+        except (OSError, ProtocolError):
+            # The connection is out of frame sync (or gone); never
+            # reuse it.
+            self.close()
+            raise
+        if body.get("ok"):
+            return body.get("result")
+        error = body.get("error") or {}
+        kind = error.get("kind", "internal")
+        raise _ERROR_TYPES.get(kind, InternalServerError)(
+            error.get("message", "unknown server error")
+        )
+
+    # ------------------------------------------------------------------
+    # Typed wrappers, one per verb
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Server-level liveness when unbound, tenant ping when bound."""
+        return self.call("ping")
+
+    def ingest(
+        self,
+        source,
+        *,
+        size: int | None = None,
+        seed: int | None = None,
+        workers: int | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        """Ingest a named dataset (str) or an event sequence."""
+        payload: dict[str, Any] = {}
+        if isinstance(source, str):
+            payload["dataset"] = source
+        else:
+            payload["events"] = events_to_wire(source)
+        if size is not None:
+            payload["size"] = size
+        if seed is not None:
+            payload["seed"] = seed
+        if workers is not None:
+            payload["workers"] = workers
+        return self.call("ingest", payload, deadline=deadline)
+
+    def query(
+        self,
+        pattern,
+        *,
+        track_edges: bool = False,
+        workers: int | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"pattern": pattern_to_wire(pattern)}
+        if track_edges:
+            payload["track_edges"] = True
+        if workers is not None:
+            payload["workers"] = workers
+        return self.call("query", payload, deadline=deadline)
+
+    def run_workload(
+        self,
+        *,
+        executions: int = 200,
+        seed: int | None = None,
+        track_edges: bool = False,
+        workers: int | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"executions": executions}
+        if seed is not None:
+            payload["seed"] = seed
+        if track_edges:
+            payload["track_edges"] = True
+        if workers is not None:
+            payload["workers"] = workers
+        return self.call("workload", payload, deadline=deadline)
+
+    def retract(
+        self,
+        *,
+        vertices=(),
+        edges=(),
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "retract",
+            {
+                "vertices": list(vertices),
+                "edges": [list(edge) for edge in edges],
+            },
+            deadline=deadline,
+        )
+
+    def rebalance(
+        self,
+        *,
+        max_moves: int | None = None,
+        min_gain: int = 1,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"min_gain": min_gain}
+        if max_moves is not None:
+            payload["max_moves"] = max_moves
+        return self.call("rebalance", payload, deadline=deadline)
+
+    def stats(self, *, deadline: float | None = None) -> dict[str, Any]:
+        return self.call("stats", deadline=deadline)
+
+    def snapshot(self, *, deadline: float | None = None) -> dict[str, Any]:
+        return self.call("snapshot", deadline=deadline)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        sock, self._socket = self._socket, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

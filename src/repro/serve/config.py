@@ -1,0 +1,144 @@
+"""Typed serving configuration: tenants and the daemon endpoint.
+
+Follows the :mod:`repro.api.config` discipline: frozen dataclasses
+validated once in ``__post_init__``, dict round-trips that reject
+unknown keys, nested configs coerced from plain dicts so a whole
+deployment serialises to one JSON document (what ``loom-repro serve
+--config`` reads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.config import ClusterConfig
+from repro.exceptions import ConfigurationError
+from repro.serve.protocol import MAX_FRAME_BYTES
+
+#: Default TCP port ("LOOM" on a phone keypad, folded into range).
+DEFAULT_PORT = 7466
+
+#: Datasets a tenant may pre-bind its workload to (the bundled ones).
+WORKLOAD_DATASETS = ("churn", "citation", "fraud", "protein", "social")
+
+
+def _reject_unknown(cls, payload: dict[str, Any]) -> None:
+    unknown = set(payload) - set(cls.__dataclass_fields__)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TenantConfig:
+    """One named cluster the daemon hosts, plus its quotas.
+
+    ``max_inflight`` bounds the requests admitted but not yet answered
+    for this tenant (admission control); ``max_pending`` bounds the
+    commands queued for the tenant's session worker (backpressure --
+    the queue rejects, it never buffers unboundedly).  Both overflows
+    answer ``busy``.  ``default_deadline`` applies to requests that
+    carry no explicit deadline; a request still unstarted when its
+    deadline passes is answered ``deadline`` without touching the
+    session.  ``workload_dataset`` optionally pre-binds the bundled
+    workload of a named dataset so ``workload``/``query`` verbs work
+    before any ingest names one.
+    """
+
+    name: str
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    max_inflight: int = 8
+    max_pending: int = 64
+    default_deadline: float = 60.0
+    workload_dataset: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("tenant name must be a non-empty str")
+        if isinstance(self.cluster, dict):
+            object.__setattr__(
+                self, "cluster", ClusterConfig.from_dict(self.cluster)
+            )
+        elif not isinstance(self.cluster, ClusterConfig):
+            raise ConfigurationError(
+                "cluster must be a ClusterConfig (or its dict form)"
+            )
+        if self.max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1")
+        if self.max_pending < 1:
+            raise ConfigurationError("max_pending must be >= 1")
+        if self.default_deadline <= 0:
+            raise ConfigurationError("default_deadline must be positive")
+        if self.workload_dataset is not None and (
+            self.workload_dataset not in WORKLOAD_DATASETS
+        ):
+            raise ConfigurationError(
+                f"unknown workload_dataset {self.workload_dataset!r}; "
+                f"choose from {WORKLOAD_DATASETS}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TenantConfig":
+        _reject_unknown(cls, payload)
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """The daemon endpoint plus every tenant it hosts."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    tenants: tuple[TenantConfig, ...] = ()
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("host must be a non-empty str")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError("port must be in [0, 65535]")
+        tenants = tuple(
+            TenantConfig.from_dict(t) if isinstance(t, dict) else t
+            for t in self.tenants
+        )
+        for tenant in tenants:
+            if not isinstance(tenant, TenantConfig):
+                raise ConfigurationError(
+                    "tenants must be TenantConfigs (or their dict forms)"
+                )
+        object.__setattr__(self, "tenants", tenants)
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate tenant names in {names}"
+            )
+        if not 1024 <= self.max_frame_bytes <= MAX_FRAME_BYTES:
+            raise ConfigurationError(
+                f"max_frame_bytes must be in [1024, {MAX_FRAME_BYTES}]"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ServeConfig":
+        _reject_unknown(cls, payload)
+        payload = dict(payload)
+        if "tenants" in payload:
+            payload["tenants"] = tuple(payload["tenants"])
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServeConfig":
+        """Load a deployment from its JSON document."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )

@@ -1,0 +1,554 @@
+"""The serving daemon: asyncio front-end over per-tenant session hosts.
+
+Architecture: one asyncio event loop accepts every client connection
+and does *no* cluster work itself.  Each tenant owns a
+:class:`ClusterHost` -- a single dedicated worker thread draining a
+bounded command queue into that tenant's :class:`~repro.api.Session` --
+so concurrent connections multiplex onto a single-writer command
+stream per cluster (the façade's command lock is the second line of
+defence, never the scheduler).  The loop-side :meth:`ClusterHost.submit`
+enforces the tenant's quotas before anything queues:
+
+* **admission control** -- more than ``max_inflight`` admitted-but-
+  unanswered requests for one tenant answer ``busy``;
+* **backpressure** -- a full command queue (``max_pending``) answers
+  ``busy`` instead of buffering unboundedly;
+* **deadlines** -- every request carries one (the tenant default when
+  the client names none, generalising the pool's ``request_timeout``);
+  a command still queued when its deadline passes is answered
+  ``deadline`` without ever touching the session.  A command already
+  *executing* runs to completion -- the session is not preemptible --
+  and its result is still returned.
+
+Shutdown is graceful on SIGTERM/SIGINT: the listener closes, each
+host's queue drains through its sentinel, sessions close (reaping
+worker processes and releasing WALs), and anything still queued is
+answered ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import signal
+import threading
+import time
+from typing import Any
+
+from repro.api import Cluster, Session
+from repro.api.session import _builtin_datasets
+from repro.exceptions import ReproError, SessionError
+from repro.serve.config import ServeConfig, TenantConfig
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    VERBS,
+    ProtocolError,
+    edges_from_wire,
+    encode_frame,
+    error_response,
+    events_from_wire,
+    ok_response,
+    pattern_from_wire,
+    read_frame,
+)
+
+#: Queue sentinel ending a host's worker thread after a drain.
+_SHUTDOWN = object()
+
+
+class _Command:
+    """One queued request: verb, payload, deadline and its future."""
+
+    __slots__ = ("verb", "payload", "deadline", "future", "loop")
+
+    def __init__(self, verb, payload, deadline, future, loop):
+        self.verb = verb
+        self.payload = payload
+        self.deadline = deadline
+        self.future = future
+        self.loop = loop
+
+    def resolve(self, outcome) -> None:
+        """Hand the outcome tuple back to the event loop (best-effort:
+        the loop may already be gone during teardown)."""
+
+        def deliver() -> None:
+            if not self.future.done():
+                self.future.set_result(outcome)
+
+        try:
+            self.loop.call_soon_threadsafe(deliver)
+        except RuntimeError:  # pragma: no cover - loop closed mid-send
+            pass
+
+
+class ClusterHost:
+    """One tenant: a session behind a single-writer command queue."""
+
+    def __init__(self, tenant: TenantConfig) -> None:
+        self.tenant = tenant
+        self.session: Session | None = None
+        self.inflight = 0
+        #: When set to a list, the worker thread appends ``(verb,
+        #: payload)`` in *execution* order -- the serialised history the
+        #: differential tests replay through an in-process session.
+        self.command_journal: list[tuple[str, dict]] | None = None
+        self._queue: queue.Queue = queue.Queue(maxsize=tenant.max_pending)
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called from the event loop / server thread)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open (or recover) the tenant's session and start draining."""
+        workload = None
+        if self.tenant.workload_dataset is not None:
+            _, make_workload = _builtin_datasets()[
+                self.tenant.workload_dataset
+            ]
+            workload = make_workload()
+        config = self.tenant.cluster
+        if config.durability.enabled:
+            from pathlib import Path
+
+            from repro.runtime.wal import has_state
+
+            wal_dir = Path(config.durability.wal_dir)
+            if has_state(wal_dir):
+                # A previous daemon's state survives under the WAL dir
+                # (clean shutdown or kill -9 alike): recover it rather
+                # than refuse the directory.
+                self.session = Cluster.recover(
+                    wal_dir, workload=workload, config=config
+                )
+            else:
+                self.session = Cluster.open(config, workload=workload)
+        else:
+            self.session = Cluster.open(config, workload=workload)
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-serve-{self.tenant.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Drain queued commands, stop the worker, close the session.
+
+        The sentinel queues FIFO behind everything already admitted, so
+        admitted work completes; commands racing in after the stop flag
+        flips are answered ``shutdown`` at submit time, and anything
+        that still slipped into the queue is resolved ``shutdown`` here.
+        """
+        self._stopping = True
+        thread = self._thread
+        if thread is not None:
+            self._queue.put(_SHUTDOWN)
+            thread.join()
+            self._thread = None
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, _Command):
+                item.resolve(
+                    ("error", "shutdown", "server is shutting down")
+                )
+        session, self.session = self.session, None
+        if session is not None:
+            session.close()
+
+    # ------------------------------------------------------------------
+    # Event-loop side: admission, backpressure, deadlines
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        verb: str,
+        payload: dict[str, Any],
+        deadline_seconds: float,
+        loop: asyncio.AbstractEventLoop,
+    ):
+        """Admit one request; returns an outcome future, or an outcome
+        tuple when the request is rejected without queuing.
+
+        Must run on the event loop thread: ``inflight`` is only ever
+        touched there, so the quota check is race-free without a lock.
+        """
+        if self._stopping or self._thread is None:
+            return ("error", "shutdown", "server is shutting down")
+        if self.inflight >= self.tenant.max_inflight:
+            return (
+                "error",
+                "busy",
+                f"tenant {self.tenant.name!r} has "
+                f"{self.inflight} requests in flight "
+                f"(max_inflight={self.tenant.max_inflight})",
+            )
+        future: asyncio.Future = loop.create_future()
+        command = _Command(
+            verb,
+            payload,
+            time.monotonic() + deadline_seconds,
+            future,
+            loop,
+        )
+        try:
+            self._queue.put_nowait(command)
+        except queue.Full:
+            return (
+                "error",
+                "busy",
+                f"tenant {self.tenant.name!r} command queue is full "
+                f"(max_pending={self.tenant.max_pending})",
+            )
+        self.inflight += 1
+        future.add_done_callback(self._admit_done)
+        return future
+
+    def _admit_done(self, _future) -> None:
+        self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Worker thread: the single writer
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            command: _Command = item
+            if time.monotonic() > command.deadline:
+                command.resolve(
+                    (
+                        "error",
+                        "deadline",
+                        f"request spent its deadline queued behind "
+                        f"{self.tenant.name!r} commands",
+                    )
+                )
+                continue
+            command.resolve(self._execute(command.verb, command.payload))
+
+    def _execute(self, verb: str, payload: dict[str, Any]):
+        handler = getattr(self, f"_verb_{verb}", None)
+        if handler is None:
+            return ("error", "unknown-verb", f"unknown verb {verb!r}")
+        if self.command_journal is not None:
+            self.command_journal.append((verb, payload))
+        try:
+            return ("ok", handler(payload))
+        except ProtocolError as error:
+            return ("error", "bad-request", str(error))
+        except (SessionError, ReproError) as error:
+            return ("error", "session", str(error))
+        except Exception as error:  # noqa: BLE001 - the daemon must
+            # survive any handler failure; the client gets the message.
+            return (
+                "error",
+                "internal",
+                f"{type(error).__name__}: {error}",
+            )
+
+    def _session(self) -> Session:
+        session = self.session
+        if session is None:
+            raise SessionError("tenant session is closed")
+        return session
+
+    # ------------------------------------------------------------------
+    # Verb handlers (PROT006 polices strays; PROT005 missing ones)
+    # ------------------------------------------------------------------
+    def _verb_ping(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "tenant": self.tenant.name,
+            "inflight": self.inflight,
+        }
+
+    def _verb_ingest(self, payload: dict[str, Any]) -> dict[str, Any]:
+        session = self._session()
+        dataset = payload.get("dataset")
+        events = payload.get("events")
+        if (dataset is None) == (events is None):
+            raise ProtocolError(
+                "ingest payload must carry exactly one of "
+                "'dataset' or 'events'"
+            )
+        source = (
+            dataset if dataset is not None else events_from_wire(events)
+        )
+        report = session.ingest(
+            source,
+            size=payload.get("size"),
+            seed=payload.get("seed"),
+            workers=payload.get("workers"),
+        )
+        return report.as_dict()
+
+    def _verb_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        pattern = pattern_from_wire(payload["pattern"])
+        result = self._session().query(
+            pattern,
+            track_edges=bool(payload.get("track_edges", False)),
+            workers=payload.get("workers"),
+        )
+        return result.as_dict()
+
+    def _verb_workload(self, payload: dict[str, Any]) -> dict[str, Any]:
+        report = self._session().run_workload(
+            executions=int(payload.get("executions", 200)),
+            seed=payload.get("seed"),
+            track_edges=bool(payload.get("track_edges", False)),
+            workers=payload.get("workers"),
+        )
+        return report.as_dict()
+
+    def _verb_retract(self, payload: dict[str, Any]) -> dict[str, Any]:
+        report = self._session().retract(
+            vertices=list(payload.get("vertices", ())),
+            edges=edges_from_wire(payload.get("edges", ())),
+        )
+        return report.as_dict()
+
+    def _verb_rebalance(self, payload: dict[str, Any]) -> dict[str, Any]:
+        report = self._session().rebalance(
+            max_moves=payload.get("max_moves"),
+            min_gain=int(payload.get("min_gain", 1)),
+        )
+        return report.as_dict()
+
+    def _verb_stats(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._session().stats().as_dict()
+
+    def _verb_snapshot(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._session().snapshot()
+
+
+class ReproServer:
+    """The asyncio front-end multiplexing connections onto the hosts."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.hosts = {
+            tenant.name: ClusterHost(tenant) for tenant in config.tenants
+        }
+        self._server: asyncio.Server | None = None
+        self._stop = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start every tenant host, then listen."""
+        started: list[ClusterHost] = []
+        try:
+            for host in self.hosts.values():
+                await asyncio.to_thread(host.start)
+                started.append(host)
+        except BaseException:
+            for host in started:
+                await asyncio.to_thread(host.stop)
+            raise
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT request a graceful stop (drain, close, exit)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_stop)
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def serve_until_stopped(self) -> None:
+        await self._stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, then drain and close every tenant host."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for host in self.hosts.values():
+            await asyncio.to_thread(host.stop)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        """Serve one client connection until EOF or a framing error.
+
+        Requests on one connection are answered in order (no
+        pipelining); concurrency comes from concurrent connections.  A
+        framing error is answered (best-effort) and the connection
+        dropped -- resynchronising an out-of-frame byte stream is not
+        possible.
+        """
+        limit = self.config.max_frame_bytes
+        try:
+            while True:
+                try:
+                    request = await read_frame(
+                        reader, max_frame_bytes=limit
+                    )
+                except ProtocolError as error:
+                    writer.write(
+                        encode_frame(
+                            error_response(None, "bad-request", str(error))
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            # Mid-run client disconnect: any in-flight command still
+            # completes on its host thread; only the reply is dropped.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        verb = request.get("verb")
+        if not isinstance(verb, str) or verb not in VERBS:
+            return error_response(
+                request_id, "unknown-verb", f"unknown verb {verb!r}"
+            )
+        payload = request.get("payload") or {}
+        if not isinstance(payload, dict):
+            return error_response(
+                request_id, "bad-request", "payload must be an object"
+            )
+        tenant = request.get("tenant")
+        if verb == "ping" and tenant is None:
+            return ok_response(
+                request_id,
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "tenants": sorted(self.hosts),
+                },
+            )
+        host = self.hosts.get(tenant)
+        if host is None:
+            return error_response(
+                request_id,
+                "unknown-tenant",
+                f"unknown tenant {tenant!r} "
+                f"(serving {sorted(self.hosts)})",
+            )
+        deadline = request.get("deadline")
+        if deadline is None:
+            deadline = host.tenant.default_deadline
+        elif not isinstance(deadline, (int, float)) or deadline <= 0:
+            return error_response(
+                request_id, "bad-request", "deadline must be > 0 seconds"
+            )
+        outcome = host.submit(
+            verb, payload, float(deadline), asyncio.get_running_loop()
+        )
+        if isinstance(outcome, tuple):
+            _, kind, message = outcome
+            return error_response(request_id, kind, message)
+        outcome = await outcome
+        if outcome[0] == "ok":
+            return ok_response(request_id, outcome[1])
+        _, kind, message = outcome
+        return error_response(request_id, kind, message)
+
+
+class BackgroundServer:
+    """A :class:`ReproServer` on its own thread (tests, notebooks).
+
+    >>> with BackgroundServer(config) as server:      # doctest: +SKIP
+    ...     client = ServeClient(port=server.port)
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.server: ReproServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serve-background",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._boot_error is not None:
+            self._thread.join()
+            raise self._boot_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = ReproServer(self.config)
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._boot_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.serve_until_stopped()
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:  # pragma: no cover - already down
+                pass
+        if thread is not None:
+            thread.join(timeout=30.0)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+async def _serve_main(config: ServeConfig) -> None:
+    server = ReproServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    tenants = ", ".join(sorted(server.hosts)) or "(none)"
+    print(
+        f"serving tenants [{tenants}] on "
+        f"{config.host}:{server.port}",
+        flush=True,
+    )
+    await server.serve_until_stopped()
+    print("shutdown complete", flush=True)
+
+
+def run_server(config: ServeConfig) -> None:
+    """Blocking entry point for ``loom-repro serve``: serve until a
+    SIGTERM/SIGINT drains the daemon gracefully."""
+    asyncio.run(_serve_main(config))

@@ -1,0 +1,270 @@
+"""End-to-end serving smoke: daemon up, concurrent clients, kill -9,
+recover, reconnect, graceful SIGTERM.
+
+Run as ``python -m repro.serve.smoke`` (CI's bench-smoke job does).
+The stages, in order, each failing the run with a diagnostic:
+
+1. Start the real daemon (``loom-repro serve --config``) as a
+   subprocess hosting two tenants -- ``alpha`` under WAL durability
+   with the social workload pre-bound, ``beta`` ephemeral -- and
+   resolve the ephemeral port from its banner.
+2. Drive both tenants from two concurrent client threads (mixed
+   ingest/workload/retract/query/stats), then record ``alpha``'s full
+   snapshot as the ground truth the kill must not lose.
+3. ``kill -9`` the daemon.  Nothing may linger in ``/dev/shm``.
+4. ``Cluster.recover`` the WAL directory in-process: the recovered
+   snapshot must equal the recorded one byte for byte, and the
+   recovered cluster must answer parallel queries with serial parity.
+5. Restart the daemon over the same WAL directory and reconnect: the
+   served snapshot must still equal the recorded one.
+6. SIGTERM the daemon and require a clean ``shutdown complete`` exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.api import Cluster, ClusterConfig
+from repro.api.session import _builtin_datasets
+from repro.graph.labelled import LabelledGraph
+from repro.runtime.shm import segment_exists
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig, TenantConfig
+from repro.stream.events import EdgeArrival, VertexArrival
+from repro.workload.query import PatternQuery
+
+WORKERS = 2
+SHM_DIR = "/dev/shm"
+
+
+def _alpha_cluster(wal_dir: str, workers: int = 1) -> ClusterConfig:
+    return ClusterConfig.from_dict(
+        {
+            "partitions": 4,
+            "method": "ldg",
+            "seed": 0,
+            "worker": {"count": workers, "request_timeout": 120.0},
+            "durability": {"mode": "wal", "wal_dir": wal_dir},
+        }
+    )
+
+
+def _spawn_daemon(config_path: str) -> tuple[subprocess.Popen, int]:
+    """Start ``loom-repro serve`` and resolve the bound port from its
+    banner line."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "from repro.cli import main; "
+            "import sys; raise SystemExit(main(sys.argv[1:]))",
+            "serve",
+            "--config",
+            config_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ),
+    )
+    assert proc.stdout is not None
+    banner = proc.stdout.readline().strip()
+    if not banner.startswith("serving tenants ["):
+        proc.kill()
+        _, err = proc.communicate(timeout=30)
+        raise RuntimeError(f"daemon failed to start: {banner!r}\n{err}")
+    return proc, int(banner.rsplit(":", 1)[1])
+
+
+def _drive_alpha(port: int, failures: list) -> None:
+    try:
+        with ServeClient(port=port, tenant="alpha") as client:
+            report = client.ingest("social", size=60, seed=2)
+            if report["vertices"] <= 0:
+                failures.append(f"alpha ingest empty: {report}")
+                return
+            client.run_workload(executions=20, seed=3)
+            vertices = [
+                vertex
+                for vertex, _ in client.snapshot()["graph"]["vertices"][:2]
+            ]
+            retracted = client.retract(vertices=vertices)
+            if retracted["vertices_removed"] != len(vertices):
+                failures.append(f"alpha retract mismatch: {retracted}")
+    except Exception as error:  # noqa: BLE001 - collected for the report
+        failures.append(f"alpha client failed: {error!r}")
+
+
+def _drive_beta(port: int, failures: list) -> None:
+    try:
+        events = [VertexArrival(v, "a", v) for v in range(20)]
+        events += [EdgeArrival(v - 1, v, 20 + v) for v in range(1, 20)]
+        pattern_graph = LabelledGraph()
+        pattern_graph.add_vertex(0, "a")
+        pattern_graph.add_vertex(1, "a")
+        pattern_graph.add_edge(0, 1)
+        with ServeClient(port=port, tenant="beta") as client:
+            client.ingest(events)
+            result = client.query(PatternQuery("pair", pattern_graph))
+            if result["matches"] != 19:  # one per chain edge
+                failures.append(f"beta query wrong: {result}")
+            if client.stats()["vertices"] != 20:
+                failures.append("beta stats wrong")
+    except Exception as error:  # noqa: BLE001 - collected for the report
+        failures.append(f"beta client failed: {error!r}")
+
+
+def _lingering_segments(before: set[str]) -> list[str]:
+    """New /dev/shm entries that survive a short grace period."""
+    if not os.path.isdir(SHM_DIR):
+        return []
+    for _ in range(50):
+        new = set(os.listdir(SHM_DIR)) - before
+        if not new:
+            return []
+        time.sleep(0.1)
+    return sorted(new)
+
+
+def main() -> int:
+    shm_before = (
+        set(os.listdir(SHM_DIR)) if os.path.isdir(SHM_DIR) else set()
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as scratch:
+        wal_dir = os.path.join(scratch, "alpha-wal")
+        config = ServeConfig(
+            port=0,
+            tenants=(
+                TenantConfig(
+                    name="alpha",
+                    cluster=_alpha_cluster(wal_dir),
+                    workload_dataset="social",
+                ),
+                TenantConfig(
+                    name="beta",
+                    cluster=ClusterConfig(
+                        partitions=2, method="ldg", seed=1
+                    ),
+                ),
+            ),
+        )
+        config_path = os.path.join(scratch, "serve.json")
+        with open(config_path, "w", encoding="utf-8") as handle:
+            json.dump(config.as_dict(), handle)
+
+        # Stage 1+2: daemon up, two concurrent clients, record truth.
+        daemon, port = _spawn_daemon(config_path)
+        try:
+            failures: list = []
+            threads = [
+                threading.Thread(target=_drive_alpha, args=(port, failures)),
+                threading.Thread(target=_drive_beta, args=(port, failures)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=240)
+            if failures:
+                print(f"FAIL: {failures}", file=sys.stderr)
+                return 1
+            with ServeClient(port=port, tenant="alpha") as client:
+                truth = client.snapshot()
+        finally:
+            # Stage 3: kill -9 -- no drain, no close, no atexit.
+            daemon.kill()
+        daemon.communicate(timeout=60)
+        if daemon.returncode != -signal.SIGKILL:
+            print(
+                f"FAIL: daemon exited {daemon.returncode} (wanted SIGKILL)",
+                file=sys.stderr,
+            )
+            return 1
+        leaked = _lingering_segments(shm_before)
+        if leaked:
+            print(
+                f"FAIL: /dev/shm segments survived kill -9: {leaked}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"daemon served 2 tenants on :{port}, killed -9, shm clean")
+
+        # Stage 4: recover the WAL directory in-process.
+        workload = _builtin_datasets()["social"][1]()
+        session = Cluster.recover(
+            wal_dir,
+            workload=workload,
+            config=_alpha_cluster(wal_dir, workers=WORKERS),
+        )
+        try:
+            recovered = session.snapshot()
+            # The recovered session runs more workers than the tenant
+            # did; its embedded config differs by exactly that, so the
+            # byte-identity claim is over the *state* keys.
+            state = {k: v for k, v in truth.items() if k != "config"}
+            if {k: v for k, v in recovered.items() if k != "config"} != state:
+                print(
+                    "FAIL: recovered snapshot diverged from the state "
+                    "served before the kill",
+                    file=sys.stderr,
+                )
+                return 1
+            serial = session.run_workload(executions=30, seed=5, workers=1)
+            parallel = session.run_workload(
+                executions=30, seed=5, workers=WORKERS
+            )
+            pool = session.pool
+            segments = list(pool.segments.history) if pool else []
+            if serial != parallel:
+                print(
+                    f"FAIL: recovered parallel parity broke\n"
+                    f"  serial:   {serial}\n  parallel: {parallel}",
+                    file=sys.stderr,
+                )
+                return 1
+        finally:
+            session.close()
+        still = [name for name in segments if segment_exists(name)]
+        if still:
+            print(f"FAIL: recovery leaked segments: {still}", file=sys.stderr)
+            return 1
+        print(
+            f"recovered {len(truth['graph']['vertices'])} vertices from the "
+            f"WAL, parallel parity held, {len(segments)} segments reaped"
+        )
+
+        # Stage 5: a fresh daemon over the same WAL dir serves the same
+        # state to a reconnecting client.
+        daemon, port = _spawn_daemon(config_path)
+        try:
+            with ServeClient(port=port, tenant="alpha") as client:
+                served = client.snapshot()
+            if served != truth:
+                print(
+                    "FAIL: restarted daemon serves diverged state",
+                    file=sys.stderr,
+                )
+                return 1
+            # Stage 6: graceful SIGTERM.
+            daemon.send_signal(signal.SIGTERM)
+            out, err = daemon.communicate(timeout=120)
+        finally:
+            daemon.kill()
+        if daemon.returncode != 0 or "shutdown complete" not in out:
+            print(
+                f"FAIL: SIGTERM exit {daemon.returncode}, out={out!r}\n{err}",
+                file=sys.stderr,
+            )
+            return 1
+    print("serve smoke ok (kill -9 + recover + reconnect + SIGTERM)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Seeded PROT006: a handler no VERBS entry ever routes to."""
+
+
+class Host:
+    def _verb_ping(self, payload):
+        return {"ok": True}
+
+    def _verb_rogue(self, payload):  # anl: PROT006
+        return {"ok": False}

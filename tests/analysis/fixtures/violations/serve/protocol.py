@@ -1,0 +1,11 @@
+"""Seeded PROT005: a declared verb with no daemon handler.
+
+Never imported at runtime -- this file exists to be *parsed* by
+``tests/analysis``.  The ``anl`` comment markers name the finding each
+line must produce (see test_checkers.py).
+"""
+
+VERBS = {
+    "ping": "liveness",
+    "ghost": "declared but never handled",  # anl: PROT005
+}

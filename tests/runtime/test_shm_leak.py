@@ -9,7 +9,13 @@ precisely so these audits can sweep the full lifetime, not just the
 final state.
 """
 
+import json
 import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -273,6 +279,79 @@ class TestSessionLifecycle:
         finally:
             session.close()
         assert names
+        assert_all_reaped(names)
+
+    def test_sigint_mid_call_closes_cleanly(self):
+        """SIGINT landing mid-``run_workload`` must leave a closeable
+        session: the command lock unwinds with the KeyboardInterrupt,
+        ``close()`` (exempt from the lock precisely for this path) reaps
+        the pool, and no shared-memory segment survives the process."""
+        child = """
+import json
+import random
+
+from repro.api import Cluster, ClusterConfig, WorkerConfig
+from repro.bench.scaling import default_start_method
+from repro.graph.labelled import LabelledGraph
+from repro.workload import PatternQuery, Workload
+
+workload = Workload([PatternQuery("ab", LabelledGraph.path("ab"))])
+session = Cluster.open(
+    ClusterConfig(
+        partitions=3,
+        method="ldg",
+        seed=0,
+        worker=WorkerConfig(
+            count=2,
+            start_method=default_start_method(),
+            fallback_serial=False,
+        ),
+    ),
+    workload=workload,
+)
+rng = random.Random(0)
+graph = LabelledGraph()
+for v in range(30):
+    graph.add_vertex(v, rng.choice("abc"))
+for v in range(1, 30):
+    graph.add_edge(v, rng.randrange(v))
+session.ingest(graph)
+session.run_workload(executions=10, seed=3)
+print("READY", flush=True)
+try:
+    while True:
+        session.run_workload(executions=200, seed=4)
+except KeyboardInterrupt:
+    names = list(session.pool.segments.history) if session.pool else []
+    session.close()
+    print("SEGMENTS " + json.dumps(names), flush=True)
+    print("CLOSED", flush=True)
+"""
+        src = Path(__file__).resolve().parents[2] / "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            assert proc.stdout is not None
+            for line in proc.stdout:
+                if line.strip() == "READY":
+                    break
+            time.sleep(0.5)  # land inside a run_workload call
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0, err
+        assert "CLOSED" in out
+        (segments_line,) = [
+            line for line in out.splitlines() if line.startswith("SEGMENTS ")
+        ]
+        names = json.loads(segments_line[len("SEGMENTS "):])
+        assert names  # the pool really was live when the signal hit
         assert_all_reaped(names)
 
     def test_shared_memory_off_publishes_nothing(self):

@@ -1,0 +1,39 @@
+"""Shared fixtures for the serving-layer tests.
+
+Every test server binds ``port=0`` (an ephemeral port) so suites can
+run in parallel, and every server started through the factory is
+stopped -- draining its tenants and closing their sessions -- even when
+the test body raises.
+"""
+
+import pytest
+
+from repro.api import ClusterConfig
+from repro.serve import BackgroundServer, ServeConfig, TenantConfig
+
+
+@pytest.fixture()
+def make_tenant():
+    def factory(name="alpha", **kwargs):
+        kwargs.setdefault(
+            "cluster", ClusterConfig(partitions=3, method="ldg", seed=5)
+        )
+        return TenantConfig(name=name, **kwargs)
+
+    return factory
+
+
+@pytest.fixture()
+def serve_factory():
+    servers = []
+
+    def factory(*tenants, **server_kwargs):
+        server_kwargs.setdefault("port", 0)
+        config = ServeConfig(tenants=tuple(tenants), **server_kwargs)
+        server = BackgroundServer(config).start()
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.stop()

@@ -1,0 +1,191 @@
+"""The ``loom-repro serve`` / ``loom-repro connect`` CLI pair.
+
+``connect`` is exercised against an in-process background server; the
+full daemon lifecycle (spawn as a subprocess, resolve the ephemeral
+port from its banner, drive it over TCP, SIGTERM it down gracefully)
+runs the same code path an operator does.
+"""
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_USAGE, _serve_config, main
+from repro.serve import ServeConfig, TenantConfig
+
+
+def _serve_args(**overrides):
+    defaults = dict(
+        config=None,
+        host=None,
+        port=None,
+        tenant="default",
+        method="ldg",
+        k=4,
+        workers=1,
+        seed=0,
+        wal_dir=None,
+        workload_dataset=None,
+        max_inflight=8,
+        max_pending=64,
+        deadline=60.0,
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+class TestServeConfigFlags:
+    def test_single_tenant_flags(self, tmp_path):
+        config = _serve_config(
+            _serve_args(
+                tenant="demo",
+                k=3,
+                seed=9,
+                wal_dir=str(tmp_path / "wal"),
+                workload_dataset="social",
+                port=0,
+            )
+        )
+        (tenant,) = config.tenants
+        assert tenant.name == "demo"
+        assert tenant.cluster.partitions == 3
+        assert tenant.cluster.seed == 9
+        assert tenant.cluster.durability.enabled
+        assert tenant.cluster.durability.wal_dir == str(tmp_path / "wal")
+        assert tenant.workload_dataset == "social"
+        assert config.port == 0
+
+    def test_config_file(self, tmp_path):
+        deployment = ServeConfig(
+            port=0, tenants=(TenantConfig(name="alpha"),)
+        )
+        path = tmp_path / "deploy.json"
+        path.write_text(json.dumps(deployment.as_dict()), encoding="utf-8")
+        config = _serve_config(_serve_args(config=str(path)))
+        assert config == deployment
+
+    def test_config_file_with_endpoint_overrides(self, tmp_path):
+        deployment = ServeConfig(tenants=(TenantConfig(name="alpha"),))
+        path = tmp_path / "deploy.json"
+        path.write_text(json.dumps(deployment.as_dict()), encoding="utf-8")
+        config = _serve_config(
+            _serve_args(config=str(path), host="0.0.0.0", port=0)
+        )
+        assert config.host == "0.0.0.0"
+        assert config.port == 0
+        assert config.tenants == deployment.tenants
+
+    def test_config_excludes_single_tenant_flags(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        path = tmp_path / "deploy.json"
+        path.write_text(json.dumps(ServeConfig().as_dict()))
+        with pytest.raises(ConfigurationError, match="exclusive"):
+            _serve_config(_serve_args(config=str(path), tenant="demo"))
+
+    def test_missing_config_file_fails_usage(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["serve", "--config", missing]) == EXIT_USAGE
+        assert "cannot read config" in capsys.readouterr().err
+
+
+class TestConnect:
+    def test_payload_must_be_json_object(self, capsys):
+        assert (
+            main(["connect", "stats", "--payload", "[1"]) == EXIT_USAGE
+        )
+        assert "not valid JSON" in capsys.readouterr().err
+        assert (
+            main(["connect", "stats", "--payload", "[1, 2]"]) == EXIT_USAGE
+        )
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_unreachable_daemon_fails_usage(self, capsys):
+        assert (
+            main(["connect", "ping", "--port", "1"]) == EXIT_USAGE
+        )
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_round_trip_against_background_server(
+        self, serve_factory, make_tenant, capsys
+    ):
+        server = serve_factory(make_tenant("demo"))
+        port = str(server.port)
+        assert main(["connect", "ping", "--port", port]) == 0
+        assert json.loads(capsys.readouterr().out)["tenants"] == ["demo"]
+
+        assert main(
+            [
+                "connect",
+                "ingest",
+                "--port",
+                port,
+                "--tenant",
+                "demo",
+                "--payload",
+                '{"dataset": "social", "size": 30, "seed": 1}',
+            ]
+        ) == 0
+        ingested = json.loads(capsys.readouterr().out)["vertices"]
+        assert ingested > 0
+
+        assert main(
+            ["connect", "stats", "--port", port, "--tenant", "demo"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["vertices"] == ingested
+
+    def test_remote_errors_map_to_usage_exit(
+        self, serve_factory, make_tenant, capsys
+    ):
+        server = serve_factory(make_tenant("demo"))
+        assert main(
+            [
+                "connect",
+                "stats",
+                "--port",
+                str(server.port),
+                "--tenant",
+                "ghost",
+            ]
+        ) == EXIT_USAGE
+        assert "unknown-tenant" in capsys.readouterr().err
+
+
+class TestServeDaemonLifecycle:
+    def test_serve_banner_connect_sigterm(self, capsys):
+        """Spawn the real daemon, read its banner for the ephemeral
+        port, drive it via ``connect``, and SIGTERM it down."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        script = (
+            "from repro.cli import main; "
+            "raise SystemExit(main(["
+            "'serve', '--port', '0', '--tenant', 'demo', '-k', '2'"
+            "]))"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            assert proc.stdout is not None
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving tenants [demo] on ")
+            port = banner.rsplit(":", 1)[1]
+            assert main(
+                ["connect", "ping", "--port", port, "--tenant", "demo"]
+            ) == 0
+            assert json.loads(capsys.readouterr().out)["tenant"] == "demo"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0, err
+        assert "shutdown complete" in out
