@@ -4,11 +4,11 @@
 Equivalent to ``loom-repro bench``.  Times every experiment the
 ``bench_*`` pytest files wrap (fast mode by default, like the pytest
 suite) plus the engine hot-path microbenchmark, then writes
-``BENCH_PR6.json``::
+``BENCH_PR10.json``::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR6.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR10.json]
                                                 [--seed 0] [--full]
-                                                [--baseline BENCH_PR5.json]
+                                                [--baseline BENCH_PR6.json]
 
 ``--baseline`` prints per-experiment wall-time deltas against a prior
 BENCH file (same ``loom-repro/bench/v1`` schema), making the perf
@@ -33,7 +33,7 @@ from repro.bench.runner import (  # noqa: E402
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--full", action="store_true",
@@ -52,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the delta-vs-full refresh measurement",
     )
     parser.add_argument(
+        "--no-obs", action="store_true",
+        help="skip the observability overhead measurement",
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="BENCH_JSON",
         help="prior BENCH file to print per-experiment deltas against",
     )
@@ -62,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         hotpath=not args.no_hotpath,
         scaling=not args.no_scaling,
         refresh=not args.no_refresh,
+        obs=not args.no_obs,
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
@@ -89,6 +94,14 @@ def main(argv: list[str] | None = None) -> int:
             + " ".join(
                 f"{key}={value}x" for key, value in sorted(speedups.items())
             )
+        )
+    if "obs" in payload:
+        entry = payload["obs"]
+        print(
+            "obs overhead: "
+            f"enabled={entry['enabled_seconds']}s "
+            f"disabled={entry['disabled_seconds']}s "
+            f"speedup={entry['obs_overhead_speedup']}x"
         )
     if args.baseline:
         baseline = load_bench_json(args.baseline)

@@ -1,6 +1,6 @@
 """Invariant-aware static analysis for the repro codebase.
 
-``loom-repro analyze`` runs five repo-specific checkers over
+``loom-repro analyze`` runs six repo-specific checkers over
 ``src/repro`` (or any tree handed to it):
 
 =======  ==============================================================
@@ -17,6 +17,9 @@ WAL      every ``DistributedGraphStore`` mutator announces itself to
          the journal/WAL; op tags round-trip through ``apply_op``
 CFG      config dataclasses round-trip every field through
          ``as_dict``/``from_dict`` and reject unknown keys
+OBS      metrics catalogue discipline: every metric name declared
+         exactly once (``repro/obs/catalog.py``), names
+         ``snake_case.dotted``
 =======  ==============================================================
 
 Suppression: ``# repro: noqa[CODE] -- justification`` on the finding's

@@ -1,0 +1,99 @@
+"""OBS: metrics catalogue discipline.
+
+The observability layer (:mod:`repro.obs`) separates declaration from
+emission: :mod:`repro.obs.catalog` declares every metric exactly once,
+and instrumentation sites emit by name.  Two drift modes defeat that
+contract silently at the call site and only blow up (or worse, fork the
+catalogue) at runtime:
+
+``OBS001``
+    The same metric name is declared more than once across the tree.
+    A second ``registry.counter("pool.spawns", ...)`` raises
+    :class:`~repro.obs.MetricError` the moment both declarations meet
+    in one registry -- but only on the code path that builds that
+    registry, which a unit test may never take.
+``OBS002``
+    A declared metric name does not match the ``snake_case.dotted``
+    grammar (``^[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)+$``).  The registry
+    enforces this at declaration time; this rule surfaces it at review
+    time, before the name leaks into dashboards and goldens.
+
+A *declaration* is any ``X.counter("literal", ...)`` /
+``X.gauge(...)`` / ``X.histogram(...)`` call whose receiver's dotted
+name mentions ``registry`` and whose first argument is a string
+literal.  Dynamic names (non-literals) are invisible to this rule by
+design -- the runtime check still owns those.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import SourceModule, SourceTree, dotted_name, register
+from repro.analysis.findings import Finding
+
+#: Mirror of :data:`repro.obs.METRIC_NAME_RE` (kept literal here so the
+#: analysis layer never imports the runtime it audits).
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+_DECLARATORS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _declarations(
+    module: SourceModule,
+) -> Iterator[tuple[str, str, int]]:
+    """Every literal metric declaration: (name, kind, line)."""
+    if module.tree is None:
+        return
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DECLARATORS
+        ):
+            continue
+        receiver = dotted_name(node.func.value) or ""
+        if "registry" not in receiver.lower():
+            continue
+        if not (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            continue
+        yield node.args[0].value, node.func.attr, node.lineno
+
+
+@register("OBS", "metrics catalogue discipline: single declaration per "
+                 "name, snake_case.dotted naming")
+def check_metrics_catalogue(tree: SourceTree) -> Iterator[Finding]:
+    seen: dict[str, tuple[str, int]] = {}
+    for module in tree:
+        for name, _kind, line in _declarations(module):
+            if not _METRIC_NAME_RE.match(name):
+                if not module.is_suppressed(line, "OBS002"):
+                    yield Finding(
+                        "OBS002",
+                        module.rel,
+                        line,
+                        f"metric name {name!r} is not snake_case.dotted "
+                        "(at least two dot-separated [a-z][a-z0-9_]* "
+                        "segments)",
+                    )
+            first = seen.get(name)
+            if first is not None:
+                first_rel, first_line = first
+                if not module.is_suppressed(line, "OBS001"):
+                    yield Finding(
+                        "OBS001",
+                        module.rel,
+                        line,
+                        f"metric {name!r} declared more than once "
+                        f"(first at {first_rel}:{first_line}): the "
+                        "second declaration raises MetricError when "
+                        "both meet in one registry",
+                    )
+            else:
+                seen[name] = (module.rel, line)

@@ -20,6 +20,7 @@ from repro.analysis import (  # noqa: F401  (registration side effects)
     configrt,
     determinism,
     lifecycle,
+    obscov,
     protocol,
     walcov,
 )

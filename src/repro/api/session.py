@@ -62,6 +62,7 @@ from repro.api.results import (
 from repro.cluster.executor import DistributedQueryExecutor, WorkloadStats
 from repro.cluster.store import DistributedGraphStore
 from repro.engine.pipeline import (
+    BatchStats,
     EngineStats,
     StatsHook,
     StreamingEngine,
@@ -75,6 +76,7 @@ from repro.graph.labelled import (
     _vertex_sort_key,
     edge_key,
 )
+from repro.obs import MetricsRegistry, SpanTracer, build_registry
 from repro.partitioning import edge_cut_fraction, normalised_max_load
 from repro.partitioning.base import default_capacity
 from repro.replication.hotspot import HotspotReplicator, ReplicationReport
@@ -103,18 +105,42 @@ REPLICATION_SEED_OFFSET = 23
 RETRY_SEED_OFFSET = 29
 
 
-@dataclasses.dataclass
 class _ResilienceCounters:
-    """Mutable session-lifetime tally behind :class:`ResilienceReport`."""
+    """Mutable session-lifetime tally behind :class:`ResilienceReport`.
 
-    worker_respawns: int = 0
-    call_retries: int = 0
-    serial_fallbacks: int = 0
-    delta_full_fallbacks: int = 0
-    shm_inline_degradations: int = 0
-    # WAL totals folded in when the durable log is released on close.
-    wal_records: int = 0
-    wal_checkpoints: int = 0
+    Since PR 10 the degradation counters live on the session's metrics
+    registry (``resilience.*`` series) -- this shim keeps the historic
+    mutable-attribute surface (``counters.call_retries += 1``) working
+    while the registry owns the numbers, so :meth:`Session.metrics` and
+    :attr:`Session.resilience` can never disagree.
+    """
+
+    _REGISTRY_BACKED = frozenset(
+        {
+            "worker_respawns",
+            "call_retries",
+            "serial_fallbacks",
+            "delta_full_fallbacks",
+            "shm_inline_degradations",
+        }
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        object.__setattr__(self, "_registry", registry)
+        # WAL totals folded in when the durable log is released on close.
+        object.__setattr__(self, "wal_records", 0)
+        object.__setattr__(self, "wal_checkpoints", 0)
+
+    def __getattr__(self, name: str) -> int:
+        if name in _ResilienceCounters._REGISTRY_BACKED:
+            return int(self._registry.value(f"resilience.{name}"))
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _ResilienceCounters._REGISTRY_BACKED:
+            self._registry.set_value(f"resilience.{name}", value)
+        else:
+            object.__setattr__(self, name, value)
 
 
 def _builtin_datasets():
@@ -303,7 +329,12 @@ class Session:
         self._pool = None
         #: Pools spawned so far (the fault plan arms per generation).
         self._pool_generation = 0
-        self._resilience = _ResilienceCounters()
+        # Observability: one registry holds every number the session
+        # emits (push-instrumented events plus on-demand scrapes --
+        # see Session.metrics); the tracer records per-command spans.
+        self._registry = build_registry()
+        self._tracer = SpanTracer(registry=self._registry)
+        self._resilience = _ResilienceCounters(self._registry)
         self._retry_rng = random.Random(config.seed + RETRY_SEED_OFFSET)
         # Durability: the DurableLog subscribed to the store's wal_hook
         # (None with durability off, or before the store exists).
@@ -341,8 +372,10 @@ class Session:
             self._command_owner = (ident, name)
             if self.command_trace is not None:
                 self.command_trace.append((name, ident))
+            self._registry.inc("session.commands", command=name)
             try:
-                yield
+                with self._tracer.span(name):
+                    yield
             finally:
                 self._command_owner = None
 
@@ -375,6 +408,16 @@ class Session:
     def engine_stats(self) -> EngineStats:
         """Aggregate streaming-engine statistics across all ingests."""
         return self._engine_stats
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The session's metrics registry (see :meth:`metrics`)."""
+        return self._registry
+
+    @property
+    def tracer(self) -> SpanTracer:
+        """The session's span tracer (one span per façade command)."""
+        return self._tracer
 
     @property
     def is_complete(self) -> bool:
@@ -504,6 +547,7 @@ class Session:
                 shared_memory=worker.shared_memory,
                 fault_plan=worker.fault_plan,
                 generation=generation,
+                registry=self._registry,
             )
             self._pool = pool
             if generation > 0:
@@ -780,7 +824,7 @@ class Session:
             engine = StreamingEngine(
                 partitioner,
                 batch_size=self.config.batch_size,
-                hooks=tuple(stats_hooks),
+                hooks=(*stats_hooks, self._observe_batch),
                 # Removals are not idempotent the way re-adds are, so a
                 # stream already materialised whole by the partitioner
                 # builder must not be mirrored a second time per batch.
@@ -1125,11 +1169,38 @@ class Session:
                 ).run(queries),
             )
             if results is not None:
+                self._observe_queries(results)
                 return results
         serial = DistributedQueryExecutor(
             self.store, track_edges=track_edges
         )
-        return [serial.execute(query) for query in queries]
+        results = [serial.execute(query) for query in queries]
+        self._observe_queries(results)
+        return results
+
+    def _observe_batch(self, batch: BatchStats) -> None:
+        """Per-batch engine instrumentation (histogram only: the
+        cumulative engine counters are scraped from
+        :class:`EngineStats`, the authoritative source)."""
+        self._registry.observe("engine.batch_seconds", batch.seconds)
+
+    def _observe_queries(self, executions) -> None:
+        """Semantic executor counters from the merged results.
+
+        Counted off the *merged* execution records, which are identical
+        serial vs parallel by construction -- so these series are too
+        (the worker-delta differential test pins both halves).
+        """
+        registry = self._registry
+        registry.inc("executor.queries", len(executions))
+        answers = local = remote = 0
+        for execution in executions:
+            answers += execution.matches
+            local += execution.ledger.local
+            remote += execution.ledger.remote
+        registry.inc("executor.answers", answers)
+        registry.inc("executor.traversals", local, scope="local")
+        registry.inc("executor.traversals", remote, scope="remote")
 
     # ------------------------------------------------------------------
     # Inspection
@@ -1192,6 +1263,78 @@ class Session:
                 else None
             ),
             resilience=self.resilience,
+        )
+
+    @_locked
+    def metrics(self) -> dict[str, Any]:
+        """One consistent metrics snapshot (``docs/observability.md``).
+
+        Collection is mostly pull-based: cumulative sources -- the
+        engine's :class:`EngineStats`, the matcher ledgers, the LOOM
+        group counters, WAL totals -- are scraped into the registry
+        here, on demand, so the hot loops never pay per-event
+        instrumentation.  Push-based series (latency histograms,
+        retry/respawn counters, merged worker deltas, command counts)
+        are already resident.  Returns the registry's canonical
+        JSON-plain snapshot; render with
+        :func:`repro.obs.render_prom` / :func:`repro.obs.render_json`.
+        """
+        self._scrape_metrics()
+        return self._registry.snapshot()
+
+    def _scrape_metrics(self) -> None:
+        """Fold every pull-collected source into the registry.
+
+        Scrapes write *absolute* values (``set_value``), so repeated
+        calls are idempotent and never double-count; the authoritative
+        home of each number stays where it always lived.
+        """
+        registry = self._registry
+        engine = self._engine_stats
+        registry.set_value("engine.batches", engine.batches)
+        registry.set_value("engine.events", engine.events)
+        registry.set_value("engine.seconds", engine.seconds)
+        registry.set(
+            "engine.window_occupancy", engine.peak_window_occupancy
+        )
+        for stage, seconds in sorted(engine.stage_seconds.items()):
+            registry.set("engine.stage_seconds", seconds, stage=stage)
+        partitioner = self._partitioner
+        counters = getattr(partitioner, "stats", None)
+        if isinstance(counters, dict):
+            for key, value in sorted(counters.items()):
+                registry.set_value(
+                    "partitioner.counters", value, key=key
+                )
+        matcher = getattr(partitioner, "matcher", None)
+        matcher_counters = getattr(matcher, "stats", None)
+        if isinstance(matcher_counters, dict):
+            for kind, value in sorted(matcher_counters.items()):
+                registry.set_value("matcher.events", value, kind=kind)
+        timings = getattr(matcher, "timings", None)
+        if isinstance(timings, dict):
+            for stage, seconds in sorted(timings.items()):
+                registry.set(
+                    "matcher.stage_seconds", seconds, stage=stage
+                )
+        store = self._store
+        if store is not None:
+            registry.set("store.vertices", store.graph.num_vertices)
+            registry.set("store.edges", store.graph.num_edges)
+        pool = self._pool
+        registry.set(
+            "pool.workers", 0 if pool is None else pool.worker_count
+        )
+        wal = self._wal
+        shim = self._resilience
+        registry.set_value(
+            "wal.records",
+            shim.wal_records + (wal.records if wal is not None else 0),
+        )
+        registry.set_value(
+            "wal.checkpoints",
+            shim.wal_checkpoints
+            + (wal.checkpoints if wal is not None else 0),
         )
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ def run_bench_suite(
     hotpath_repeats: int = 3,
     scaling: bool = True,
     refresh: bool = True,
+    obs: bool = True,
 ) -> dict[str, Any]:
     """Time every experiment (and the hot-path microbenchmark) once.
 
@@ -44,7 +45,10 @@ def run_bench_suite(
     bench-trend CI gate watches.  ``refresh=True`` likewise embeds the
     delta-vs-full refresh measurement (E15's engine, always at the
     canonical E14 dataset size) whose ``refresh_delta_speedup`` headline
-    the same gate watches.
+    the same gate watches.  ``obs=True`` embeds the observability
+    overhead microbenchmark (registry enabled vs disabled on one
+    session ingest+query pass) whose ``obs_overhead_speedup`` headline
+    guards the instrumentation's hot-path cost.
     """
     ids = experiments or tuple(EXPERIMENTS)
     payload: dict[str, Any] = {
@@ -79,6 +83,10 @@ def run_bench_suite(
 
         sweep = run_refresh_benchmark(seed=seed)
         payload["refresh"] = sweep.as_dict()
+    if obs:
+        from repro.bench.obs import run_obs_overhead
+
+        payload["obs"] = run_obs_overhead(seed=seed)
     return payload
 
 
@@ -140,6 +148,8 @@ def diff_bench(
             lines.append(f"scaling {key}: {mine[key]}x vs {base[key]}x")
         elif key.startswith("refresh_"):
             lines.append(f"refresh {key}: {mine[key]}x vs {base[key]}x")
+        elif key.startswith("obs_"):
+            lines.append(f"obs {key}: {mine[key]}x vs {base[key]}x")
     return lines
 
 
@@ -157,8 +167,11 @@ def headline_speedups(payload: dict[str, Any]) -> dict[str, float]:
     full at the *smallest* mutation size -- the regime delta refresh
     exists for; larger mutation sizes decay toward full-snapshot parity
     by design, so gating on them would test the fallback, not the
-    feature).  These are the numbers the nightly bench-trend workflow
-    gates on.
+    feature).  The observability microbenchmark contributes
+    ``obs_overhead_speedup`` (registry-disabled over registry-enabled
+    seconds, ~1.0 when instrumentation is free -- falling below the
+    gate means real work crept onto the hot path behind the registry).
+    These are the numbers the nightly bench-trend workflow gates on.
     """
     speedups: dict[str, float] = {}
     hotpath = payload.get("hotpath") or {}
@@ -183,6 +196,10 @@ def headline_speedups(payload: dict[str, Any]) -> dict[str, float]:
     value = (refresh.get("speedups") or {}).get("refresh_delta_speedup")
     if isinstance(value, (int, float)):
         speedups["refresh_delta_speedup"] = float(value)
+    obs = payload.get("obs") or {}
+    value = obs.get("obs_overhead_speedup")
+    if isinstance(value, (int, float)):
+        speedups["obs_overhead_speedup"] = float(value)
     return speedups
 
 

@@ -12,14 +12,15 @@
     loom-repro recover --wal-dir wal/ --json --out recovered.json
     loom-repro retract --snapshot c.json --vertex 7 --edge 1 2 --out c2.json
     loom-repro rebalance --snapshot c.json --max-moves 20 --out c2.json
-    loom-repro bench --out BENCH_PR6.json --baseline BENCH_PR5.json
-    loom-repro bench --baseline BENCH_PR6.json --fail-below 0.9
+    loom-repro bench --out BENCH_PR10.json --baseline BENCH_PR6.json
+    loom-repro bench --baseline BENCH_PR10.json --fail-below 0.9
     loom-repro analyze                   # invariant static analysis
     loom-repro analyze --select DET,WAL --format json
     loom-repro serve --tenant demo --method ldg -k 4 --port 7466
     loom-repro serve --config deploy.json
     loom-repro connect --tenant demo ingest --payload '{"dataset": "social"}'
     loom-repro connect --tenant demo stats
+    loom-repro connect --tenant demo metrics --format prom
 
 (Equivalently ``python -m repro.cli ...``.)
 
@@ -382,6 +383,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         hotpath=not args.no_hotpath,
         scaling=not args.no_scaling,
         refresh=not args.no_refresh,
+        obs=not args.no_obs,
     )
     target = write_bench_json(args.out, payload)
     total = sum(e["seconds"] for e in payload["experiments"].values())
@@ -488,6 +490,8 @@ def _cmd_connect(args: argparse.Namespace) -> int:
             return _fail(f"--payload is not valid JSON: {error}")
         if not isinstance(payload, dict):
             return _fail("--payload must be a JSON object")
+    if args.verb == "metrics" and args.format != "json":
+        payload.setdefault("format", args.format)
     client = ServeClient(args.host, args.port, tenant=args.tenant)
     try:
         with client:
@@ -500,7 +504,10 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         return _fail(
             f"cannot reach {args.host}:{args.port}: {error}"
         )
-    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.verb == "metrics" and args.format == "prom":
+        print(result["text"], end="")
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -612,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the benchmark suite, write machine-readable JSON"
     )
-    bench.add_argument("--out", default="BENCH_PR6.json")
+    bench.add_argument("--out", default="BENCH_PR10.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--full", action="store_true", help="full grids (slow)")
     bench.add_argument("--no-hotpath", action="store_true",
@@ -621,6 +628,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the sharded-runtime scaling measurement")
     bench.add_argument("--no-refresh", action="store_true",
                        help="skip the delta-vs-full refresh measurement")
+    bench.add_argument("--no-obs", action="store_true",
+                       help="skip the observability overhead measurement")
     bench.add_argument("--baseline", default=None, metavar="BENCH_JSON",
                        help="prior BENCH file to print deltas against")
     bench.add_argument("--fail-below", type=float, default=None,
@@ -670,7 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument("verb",
                          choices=["ping", "ingest", "query", "workload",
                                   "retract", "rebalance", "stats",
-                                  "snapshot"],
+                                  "snapshot", "metrics"],
                          help="wire verb to send")
     connect.add_argument("--host", default="127.0.0.1")
     connect.add_argument("--port", type=int, default=7466)
@@ -680,6 +689,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="verb payload as a JSON object")
     connect.add_argument("--deadline", type=float, default=None,
                          help="per-request deadline in seconds")
+    connect.add_argument("--format", default="json",
+                         choices=["json", "prom"],
+                         help="metrics exposition format (prom prints the "
+                         "Prometheus text exposition raw)")
     connect.set_defaults(fn=_cmd_connect)
 
     analyze = sub.add_parser(
@@ -693,7 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "installed repro package)")
     analyze.add_argument("--select", default=None, metavar="CHECK,...",
                          help="comma-separated check prefixes or codes "
-                         "(DET, PROT, RES, WAL, CFG; default: all)")
+                         "(DET, PROT, RES, WAL, CFG, OBS; default: all)")
     analyze.add_argument("--format", default="text",
                          choices=["text", "json"],
                          help="report format (json is what CI consumes)")

@@ -1,0 +1,44 @@
+"""Unified observability: metrics registry, catalogue, span tracing.
+
+``repro.obs`` owns every number the stack emits at runtime: sessions
+and the serve daemon instantiate the catalogue via
+:func:`build_registry`, instrumentation sites emit by name, and
+snapshots merge across processes (worker deltas over the mailbox,
+tenant sessions into the daemon).  See ``docs/observability.md``.
+"""
+
+from repro.obs.catalog import (  # noqa: I001 -- semantic re-export order
+    build_registry,
+    catalog_table,
+    declare_metrics,
+    metric_names,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    METRIC_NAME_RE,
+    METRICS_SCHEMA,
+    MetricError,
+    MetricSpec,
+    MetricsRegistry,
+    render_json,
+    render_prom,
+)
+from repro.obs.tracing import SPAN_METRIC, Span, SpanTracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA",
+    "METRIC_NAME_RE",
+    "MetricError",
+    "MetricSpec",
+    "MetricsRegistry",
+    "SPAN_METRIC",
+    "Span",
+    "SpanTracer",
+    "build_registry",
+    "catalog_table",
+    "declare_metrics",
+    "metric_names",
+    "render_json",
+    "render_prom",
+]

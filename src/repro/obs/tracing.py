@@ -1,0 +1,92 @@
+"""Lightweight span tracing with an explicitly injected clock.
+
+A :class:`SpanTracer` records named, labelled spans into a bounded
+ring and (optionally) observes each span's duration into a registry
+histogram (``trace.span_seconds``, labelled by span name).  The clock
+is a constructor argument -- ``time.perf_counter`` by default, which
+the determinism lint sanctions for durations -- so tests inject a
+deterministic counter and pin exact span timings, and nothing in the
+tracer ever reads a wall clock (DET002 stays green by construction).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.obs.registry import MetricsRegistry
+
+#: Histogram the tracer observes span durations into (when attached).
+SPAN_METRIC = "trace.span_seconds"
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One finished span: what ran, for how long, under which labels."""
+
+    name: str
+    seconds: float
+    start: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "start": self.start,
+            "labels": dict(self.labels),
+        }
+
+
+class SpanTracer:
+    """Bounded span recorder; cheap enough to leave on everywhere.
+
+    ``limit`` bounds the retained ring (oldest spans fall off);
+    ``registry`` -- when given -- receives every span duration as an
+    observation into :data:`SPAN_METRIC`, so latency distributions
+    survive after the ring has recycled.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        registry: MetricsRegistry | None = None,
+        limit: int = 256,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("span ring limit must be >= 1")
+        self.clock = clock
+        self.registry = registry
+        self._spans: deque[Span] = deque(maxlen=limit)
+
+    @contextmanager
+    def span(self, name: str, **labels: Any) -> Iterator[None]:
+        """Record the wrapped block as one span (exceptions included)."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            seconds = self.clock() - start
+            self._spans.append(
+                Span(
+                    name,
+                    seconds,
+                    start,
+                    tuple(
+                        sorted((k, str(v)) for k, v in labels.items())
+                    ),
+                )
+            )
+            if self.registry is not None:
+                self.registry.observe(SPAN_METRIC, seconds, span=name)
+
+    def spans(self) -> tuple[Span, ...]:
+        """The retained ring, oldest first."""
+        return tuple(self._spans)
+
+    def reset(self) -> None:
+        self._spans.clear()

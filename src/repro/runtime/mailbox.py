@@ -106,12 +106,22 @@ class PartialResult:
 class ExecuteResponse:
     """Worker -> coordinator: every partial result of one request, plus
     the CPU seconds the worker spent producing them (the scaling
-    experiment's makespan input)."""
+    experiment's makespan input).
+
+    ``metrics`` is the worker's flat counter delta for this request --
+    ``(name, labels, amount)`` triples in the
+    :meth:`repro.obs.MetricsRegistry.merge_delta` wire format.  The
+    pool merges the deltas only after a *complete* successful gather,
+    so a crashed/hung round trip contributes nothing and a retried
+    request never double-counts.  Defaulted, so pickled peers from
+    before the field existed still decode.
+    """
 
     request_id: int
     worker_id: int
     results: tuple[PartialResult, ...]
     cpu_seconds: float
+    metrics: tuple[tuple[str, dict[str, Any], float], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

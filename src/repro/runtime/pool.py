@@ -62,6 +62,7 @@ from repro.runtime.mailbox import (
     RefreshResponse,
     Shutdown,
 )
+from repro.obs import MetricsRegistry
 from repro.runtime.shm import SegmentRegistry
 from repro.runtime.snapshot import ShardSnapshot, owned_partitions
 
@@ -97,6 +98,7 @@ class WorkerPool:
         shared_memory: bool = True,
         fault_plan=None,
         generation: int = 0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -123,6 +125,13 @@ class WorkerPool:
         #: (no-op version-equal calls are skipped and counted nowhere).
         self.refreshes = 0
         self.delta_refreshes = 0
+        #: When set, the pool pushes its lifecycle counters here and
+        #: merges the flat counter deltas workers attach to their
+        #: responses -- only after a *complete* successful gather, so a
+        #: crashed round trip contributes nothing and a respawned
+        #: pool's retry cannot double-count (the fault-matrix metrics
+        #: test pins this).
+        self.registry = registry
         from repro.runtime.worker import worker_main
 
         source = self._publish(snapshot)
@@ -160,6 +169,8 @@ class WorkerPool:
             raise
         # Every worker confirmed its decode; the boot segment is garbage.
         self.segments.close()
+        if self.registry is not None:
+            self.registry.inc("pool.spawns")
 
     # ------------------------------------------------------------------
     def _publish(self, snapshot: ShardSnapshot):
@@ -318,6 +329,10 @@ class WorkerPool:
         except WorkerCrashError:
             self.close()
             raise
+        if self.registry is not None:
+            for response in responses:
+                if response.metrics:
+                    self.registry.merge_delta(response.metrics)
         return responses
 
     def _gather_refresh(self) -> tuple[float, list[RefreshResponse]]:
@@ -365,6 +380,8 @@ class WorkerPool:
             # Confirmed or failed, the refresh segment is garbage now.
             self.segments.close()
         self.refreshes += 1
+        if self.registry is not None:
+            self.registry.inc("pool.refreshes")
         self.version = snapshot.version
         return slowest
 
@@ -409,6 +426,8 @@ class WorkerPool:
             self.close()
             raise
         self.delta_refreshes += 1
+        if self.registry is not None:
+            self.registry.inc("pool.delta_refreshes")
         self.version = delta.to_version
         return slowest
 

@@ -106,6 +106,7 @@ def execute_request(
     partition_of = store.partition_of
     began = time.process_time()
     results = []
+    answers_total = local_total = remote_total = 0
     for payload in request.queries:
         query = payload.to_query()
         seeds = [
@@ -114,6 +115,9 @@ def execute_request(
             if partition_of(seed) in owned
         ]
         answers, ledger = executor.execute_partial(query, seeds)
+        answers_total += len(answers)
+        local_total += ledger.local
+        remote_total += ledger.remote
         results.append(
             PartialResult(
                 local=ledger.local,
@@ -126,11 +130,24 @@ def execute_request(
                 ),
             )
         )
+    cpu_seconds = time.process_time() - began
+    # The flat counter delta the coordinator merges (names declared in
+    # repro.obs.catalog).  Per-seed subtrees are independent and answer
+    # keys are produced by exactly one owner, so summing these across
+    # workers reproduces the serial counters exactly.
+    metrics = (
+        ("worker.requests", {}, 1.0),
+        ("worker.answers", {}, float(answers_total)),
+        ("worker.traversals", {"scope": "local"}, float(local_total)),
+        ("worker.traversals", {"scope": "remote"}, float(remote_total)),
+        ("worker.cpu_seconds", {}, cpu_seconds),
+    )
     return ExecuteResponse(
         request_id=request.request_id,
         worker_id=worker_id,
         results=tuple(results),
-        cpu_seconds=time.process_time() - began,
+        cpu_seconds=cpu_seconds,
+        metrics=metrics,
     )
 
 

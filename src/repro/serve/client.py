@@ -284,6 +284,18 @@ class ServeClient:
     def snapshot(self, *, deadline: float | None = None) -> dict[str, Any]:
         return self.call("snapshot", deadline=deadline)
 
+    def metrics(
+        self,
+        *,
+        format: str = "json",
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        """The tenant's merged metrics snapshot plus the slow-command
+        journal; ``format="prom"`` returns ``{"text": ...}`` in the
+        Prometheus text exposition instead."""
+        payload = {} if format == "json" else {"format": format}
+        return self.call("metrics", payload, deadline=deadline)
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         sock, self._socket = self._socket, None

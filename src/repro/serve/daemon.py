@@ -33,11 +33,13 @@ import queue
 import signal
 import threading
 import time
+from collections import deque
 from typing import Any
 
 from repro.api import Cluster, Session
 from repro.api.session import _builtin_datasets
 from repro.exceptions import ReproError, SessionError
+from repro.obs import build_registry, render_prom
 from repro.serve.config import ServeConfig, TenantConfig
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -54,6 +56,14 @@ from repro.serve.protocol import (
 
 #: Queue sentinel ending a host's worker thread after a drain.
 _SHUTDOWN = object()
+
+#: A command whose handler ran at least this long lands in the host's
+#: bounded slow-command journal (and bumps ``serve.slow_commands``).
+SLOW_COMMAND_SECONDS = 1.0
+
+#: Journal ring size: enough recent offenders to diagnose a stall
+#: without the journal itself becoming a memory liability.
+SLOW_JOURNAL_LIMIT = 64
 
 
 class _Command:
@@ -93,6 +103,16 @@ class ClusterHost:
         #: payload)`` in *execution* order -- the serialised history the
         #: differential tests replay through an in-process session.
         self.command_journal: list[tuple[str, dict]] | None = None
+        #: Daemon-side serve telemetry (``serve.*`` series, labelled by
+        #: tenant).  Thread-safe: the event loop emits admission-control
+        #: series, the worker thread emits execution series, and the
+        #: ``metrics`` verb merges this with the session's own snapshot.
+        self.registry = build_registry()
+        #: Bounded ring of recent slow commands (dicts with ``verb``,
+        #: ``seconds``, ``outcome``), newest last.
+        self.slow_journal: deque[dict[str, Any]] = deque(
+            maxlen=SLOW_JOURNAL_LIMIT
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=tenant.max_pending)
         self._thread: threading.Thread | None = None
         self._stopping = False
@@ -177,8 +197,15 @@ class ClusterHost:
         touched there, so the quota check is race-free without a lock.
         """
         if self._stopping or self._thread is None:
+            self.registry.inc(
+                "serve.rejections", tenant=self.tenant.name,
+                reason="shutdown",
+            )
             return ("error", "shutdown", "server is shutting down")
         if self.inflight >= self.tenant.max_inflight:
+            self.registry.inc(
+                "serve.rejections", tenant=self.tenant.name, reason="busy"
+            )
             return (
                 "error",
                 "busy",
@@ -197,6 +224,9 @@ class ClusterHost:
         try:
             self._queue.put_nowait(command)
         except queue.Full:
+            self.registry.inc(
+                "serve.rejections", tenant=self.tenant.name, reason="queue"
+            )
             return (
                 "error",
                 "busy",
@@ -204,11 +234,26 @@ class ClusterHost:
                 f"(max_pending={self.tenant.max_pending})",
             )
         self.inflight += 1
+        self._observe_admission()
         future.add_done_callback(self._admit_done)
         return future
 
     def _admit_done(self, _future) -> None:
         self.inflight -= 1
+        self._observe_admission()
+
+    def _observe_admission(self) -> None:
+        """Point-in-time admission gauges (loop thread only, like
+        ``inflight`` itself; ``qsize`` is advisory but monotonic gauges
+        merge by max so a stale reading cannot inflate a merge)."""
+        self.registry.set(
+            "serve.inflight", self.inflight, tenant=self.tenant.name
+        )
+        self.registry.set(
+            "serve.queue_depth",
+            self._queue.qsize(),
+            tenant=self.tenant.name,
+        )
 
     # ------------------------------------------------------------------
     # Worker thread: the single writer
@@ -220,6 +265,15 @@ class ClusterHost:
                 break
             command: _Command = item
             if time.monotonic() > command.deadline:
+                self.registry.inc(
+                    "serve.deadline_misses", tenant=self.tenant.name
+                )
+                self.registry.inc(
+                    "serve.requests",
+                    tenant=self.tenant.name,
+                    verb=command.verb,
+                    outcome="deadline",
+                )
                 command.resolve(
                     (
                         "error",
@@ -229,7 +283,12 @@ class ClusterHost:
                     )
                 )
                 continue
-            command.resolve(self._execute(command.verb, command.payload))
+            began = time.perf_counter()
+            outcome = self._execute(command.verb, command.payload)
+            self._observe_command(
+                command.verb, outcome, time.perf_counter() - began
+            )
+            command.resolve(outcome)
 
     def _execute(self, verb: str, payload: dict[str, Any]):
         handler = getattr(self, f"_verb_{verb}", None)
@@ -249,6 +308,28 @@ class ClusterHost:
                 "error",
                 "internal",
                 f"{type(error).__name__}: {error}",
+            )
+
+    def _observe_command(self, verb: str, outcome, seconds: float) -> None:
+        """Per-command execution telemetry (worker thread only)."""
+        kind = "ok" if outcome[0] == "ok" else outcome[1]
+        tenant = self.tenant.name
+        self.registry.inc(
+            "serve.requests", tenant=tenant, verb=verb, outcome=kind
+        )
+        self.registry.observe(
+            "serve.verb_seconds", seconds, tenant=tenant, verb=verb
+        )
+        if seconds >= SLOW_COMMAND_SECONDS:
+            self.registry.inc(
+                "serve.slow_commands", tenant=tenant, verb=verb
+            )
+            self.slow_journal.append(
+                {
+                    "verb": verb,
+                    "seconds": round(seconds, 6),
+                    "outcome": kind,
+                }
             )
 
     def _session(self) -> Session:
@@ -324,6 +405,29 @@ class ClusterHost:
 
     def _verb_snapshot(self, payload: dict[str, Any]) -> dict[str, Any]:
         return self._session().snapshot()
+
+    def _verb_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One consistent merged snapshot: the daemon's ``serve.*``
+        series folded together with the tenant session's own metrics
+        (engine, matcher, executor, pool, worker, WAL ...).
+
+        ``{"format": "prom"}`` answers ``{"text": ...}`` in the
+        Prometheus text exposition instead of the JSON snapshot; both
+        carry the bounded slow-command journal.
+        """
+        fmt = payload.get("format", "json")
+        if fmt not in ("json", "prom"):
+            raise ProtocolError(
+                f"metrics format must be 'json' or 'prom', got {fmt!r}"
+            )
+        merged = build_registry()
+        merged.merge_snapshot(self.registry.snapshot())
+        merged.merge_snapshot(self._session().metrics())
+        snapshot = merged.snapshot()
+        slow = list(self.slow_journal)
+        if fmt == "prom":
+            return {"text": render_prom(snapshot), "slow_commands": slow}
+        return {"snapshot": snapshot, "slow_commands": slow}
 
 
 class ReproServer:

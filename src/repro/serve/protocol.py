@@ -63,6 +63,7 @@ VERBS = {
     "rebalance": "live-migrate the worst-placed vertices",
     "stats": "one ClusterStats snapshot",
     "snapshot": "the full portable session snapshot",
+    "metrics": "merged serve + session metrics snapshot (json or prom)",
 }
 
 #: Error kinds a response may carry (client maps them to typed errors).

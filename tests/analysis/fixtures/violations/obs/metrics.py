@@ -1,0 +1,19 @@
+"""Seeded OBS violations: duplicate declaration, bad metric name."""
+
+
+class _Registry:
+    def counter(self, name, help):
+        pass
+
+    def gauge(self, name, help):
+        pass
+
+    def histogram(self, name, help):
+        pass
+
+
+registry = _Registry()
+registry.counter("pool.spawns", "fine: declared once, well-formed")
+registry.gauge("pool.spawns", "second declaration")  # anl: OBS001
+registry.counter("QueueDepth", "CamelCase, no dot")  # anl: OBS002
+registry.histogram("serve.Verb_seconds", "bad segment")  # anl: OBS002

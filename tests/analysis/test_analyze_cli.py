@@ -31,7 +31,7 @@ def test_json_report_is_structured(capsys):
         (f["path"], f["line"], f["code"]) for f in payload["findings"]
     }
     assert ("runtime/worker.py", 3, "PROT003") in triples
-    assert set(payload["checks"]) == {"CFG", "DET", "PROT", "RES", "WAL"}
+    assert set(payload["checks"]) == {"CFG", "DET", "OBS", "PROT", "RES", "WAL"}
 
 
 def test_json_clean_tree(capsys):

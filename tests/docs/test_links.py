@@ -1,0 +1,56 @@
+"""Markdown link checker: every relative link target must exist.
+
+Pure stdlib, runs in the CI docs job.  External links (http/https,
+mailto) are out of scope -- flaky networks must not fail CI -- but a
+broken relative link is always a bug: either the target moved or the
+page never existed.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Pages the checker sweeps: the README tier plus everything in docs/.
+PAGES = sorted(
+    [
+        REPO / "README.md",
+        REPO / "ROADMAP.md",
+        REPO / "CHANGES.md",
+        *(REPO / "docs").glob("*.md"),
+    ]
+)
+
+#: ``[text](target)`` -- good enough for this repo's plain markdown
+#: (no images with titles, no reference-style links).
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def relative_links(path: Path) -> list[str]:
+    text = path.read_text()
+    # Fenced code blocks may hold JSON arrays that look like links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return [
+        target
+        for target in LINK.findall(text)
+        if not target.startswith(SKIP_SCHEMES) and not target.startswith("#")
+    ]
+
+
+@pytest.mark.parametrize("page", PAGES, ids=lambda p: p.name)
+def test_relative_links_resolve(page):
+    broken = []
+    for target in relative_links(page):
+        resolved = (page.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{page.name}: broken relative links {broken}"
+
+
+def test_the_sweep_actually_sees_links():
+    # Guard the checker against silently checking nothing.
+    assert any(relative_links(page) for page in PAGES)

@@ -1,0 +1,103 @@
+"""The ``metrics`` verb: merged telemetry, expositions, slow journal."""
+
+import pytest
+
+from repro.serve import ServeClient
+from repro.serve import daemon as daemon_module
+from repro.serve.client import BadRequestError, RemoteError
+
+
+@pytest.fixture()
+def client(serve_factory, make_tenant):
+    server = serve_factory(make_tenant(workload_dataset="social"))
+    with ServeClient(port=server.port, tenant="alpha") as live:
+        yield live
+
+
+class TestMetricsVerb:
+    def test_snapshot_covers_serve_and_session_series(self, client):
+        client.ingest("social", size=60, seed=1)
+        client.run_workload(executions=10, seed=2)
+        result = client.metrics()
+        snap = result["snapshot"]
+        assert snap["schema"] == "loom-repro/metrics/v1"
+        metrics = snap["metrics"]
+
+        def total(name):
+            return sum(
+                row.get("value", 0.0) for row in metrics[name]["series"]
+            )
+
+        # Session-side series reached the merged snapshot...
+        assert total("engine.events") > 0
+        assert total("executor.queries") == 10.0
+        assert total("store.vertices") > 0
+        # ...and serve-side telemetry did too (requests by verb).
+        by_verb = {
+            row["labels"]["verb"]: row["value"]
+            for row in metrics["serve.requests"]["series"]
+        }
+        assert by_verb["ingest"] == 1.0
+        assert by_verb["workload"] == 1.0
+        assert all(
+            row["labels"]["outcome"] == "ok"
+            for row in metrics["serve.requests"]["series"]
+        )
+        assert metrics["serve.verb_seconds"]["series"]
+
+    def test_scrapes_are_idempotent(self, client):
+        client.ingest("social", size=60, seed=1)
+        first = client.metrics()["snapshot"]["metrics"]
+        second = client.metrics()["snapshot"]["metrics"]
+
+        def engine_events(metrics):
+            [row] = metrics["engine.events"]["series"]
+            return row["value"]
+
+        # Scraped cumulative sources must not double-count per call.
+        assert engine_events(first) == engine_events(second)
+
+    def test_prom_format(self, client):
+        client.ingest("social", size=60, seed=1)
+        result = client.metrics(format="prom")
+        text = result["text"]
+        assert "# TYPE serve_requests counter" in text
+        assert 'serve_requests{outcome="ok",tenant="alpha",verb="ingest"} 1' in text
+        assert "# TYPE engine_batch_seconds histogram" in text
+        assert result["slow_commands"] == []
+
+    def test_unknown_format_is_a_bad_request(self, client):
+        with pytest.raises(BadRequestError):
+            client.metrics(format="xml")
+
+    def test_error_outcomes_are_counted(self, client):
+        with pytest.raises(RemoteError):
+            client.call("query", {"pattern": None})  # malformed on purpose
+        outcomes = {
+            row["labels"]["outcome"]
+            for row in client.metrics()["snapshot"]["metrics"][
+                "serve.requests"
+            ]["series"]
+        }
+        assert any(outcome != "ok" for outcome in outcomes)
+
+
+class TestSlowJournal:
+    def test_slow_commands_land_in_the_journal(
+        self, serve_factory, make_tenant, monkeypatch
+    ):
+        # Anything above 0 seconds is "slow": every command journals.
+        monkeypatch.setattr(daemon_module, "SLOW_COMMAND_SECONDS", 0.0)
+        server = serve_factory(make_tenant(workload_dataset="social"))
+        with ServeClient(port=server.port, tenant="alpha") as client:
+            client.ingest("social", size=40, seed=1)
+            result = client.metrics()
+        entries = result["slow_commands"]
+        assert entries, "every command should journal at threshold 0"
+        assert entries[0]["verb"] == "ingest"
+        assert entries[0]["outcome"] == "ok"
+        assert entries[0]["seconds"] >= 0.0
+        slow_series = result["snapshot"]["metrics"]["serve.slow_commands"][
+            "series"
+        ]
+        assert sum(row["value"] for row in slow_series) == len(entries)
